@@ -1,0 +1,92 @@
+// Command comasim runs one COMA simulation configuration and prints the
+// full measurement record: execution-time breakdown, read-node-miss rate,
+// bus traffic by class and protocol counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+func main() {
+	app := flag.String("app", "radix", "workload name (see -list)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	ppn := flag.Int("procs-per-node", 1, "processors per node (1, 2 or 4)")
+	mp := flag.String("mp", "50%", "memory pressure: 6%, 50%, 75%, 81%, 87%")
+	ways := flag.Int("am-ways", 4, "attraction-memory associativity")
+	dramBW := flag.Float64("dram-bw", 1, "DRAM bandwidth multiplier")
+	ncBW := flag.Float64("nc-bw", 1, "node-controller bandwidth multiplier")
+	busBW := flag.Float64("bus-bw", 1, "bus bandwidth multiplier")
+	inclusive := flag.Bool("inclusive", true, "inclusive cache hierarchy")
+	numa := flag.Bool("numa", false, "run the CC-NUMA baseline machine instead of COMA")
+	update := flag.Bool("write-update", false, "write-update protocol instead of invalidation")
+	flag.Parse()
+
+	if *list {
+		for _, n := range core.Workloads() {
+			fmt.Println(n)
+		}
+		for _, n := range core.MicroWorkloads() {
+			fmt.Println(n)
+		}
+		return
+	}
+	pressure, err := config.PressureByLabel(*mp)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := core.Workload(*app, 16)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Baseline(*ppn, pressure)
+	cfg.AMWays = *ways
+	cfg.DRAMBandwidth = *dramBW
+	cfg.NCBandwidth = *ncBW
+	cfg.BusBandwidth = *busBW
+	cfg.Inclusive = *inclusive
+	cfg.Policy.WriteUpdate = *update
+	run := core.Run
+	if *numa {
+		run = core.RunNUMA
+	}
+	res, err := run(tr, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	system := "COMA"
+	if *numa {
+		system = "CC-NUMA baseline"
+	} else if *update {
+		system = "COMA (write-update)"
+	}
+	fmt.Printf("workload          %s (WS %d KB)\n", *app, tr.WorkingSet/1024)
+	fmt.Printf("configuration     %s: %d procs/node, MP %s, %d-way AM, BW dram=%.2g nc=%.2g bus=%.2g\n",
+		system, *ppn, pressure.Label, *ways, *dramBW, *ncBW, *busBW)
+	fmt.Printf("execution time    %v\n", res.ExecTime)
+	b := res.Breakdown()
+	fmt.Printf("breakdown (mean)  busy=%.0f slc=%.0f am=%.0f remote=%.0f sync=%.0f ns\n",
+		b.Busy, b.SLC, b.AM, b.Remote, b.Sync)
+	fmt.Printf("reads             %d (node misses %d, RNMr %.4f)\n",
+		res.Reads, res.ReadNodeMisses, res.RNMr())
+	fmt.Printf("bus occupancy     read=%v write=%v replace=%v (total %v)\n",
+		res.BusOccupancy[0], res.BusOccupancy[1], res.BusOccupancy[2], res.BusTotal())
+	p := res.Protocol
+	fmt.Printf("protocol          readmiss=%d writemiss=%d upgrades=%d cold=%d injects=%d promotes=%d shared-drops=%d forced-drops=%d\n",
+		p.ReadMisses, p.WriteMisses, p.Upgrades, p.ColdAllocs, p.Injects, p.Promotes, p.SharedDrops, p.ForcedDrops)
+	fmt.Printf("utilization       bus=%.1f%% max-dram=%.1f%%\n",
+		100*res.BusUtilization, 100*res.MaxDRAMUtilization())
+	fmt.Printf("read latency      median<=%dns p99<=%dns  [%s]\n",
+		res.ReadLatency.Quantile(0.5), res.ReadLatency.Quantile(0.99), &res.ReadLatency)
+	fmt.Printf("load imbalance    %.3f (slowest processor / mean finish)\n", res.Imbalance())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "comasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Command report regenerates the paper's evaluation and writes a single
+// self-contained HTML page with every table and figure as inline SVG.
+//
+//	go run ./cmd/report -o report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "report.html", "output file")
+	verbose := flag.Bool("v", false, "progress to stderr")
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+	data, err := report.Collect(r)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := report.Render(f, data); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

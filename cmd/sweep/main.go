@@ -1,0 +1,93 @@
+// Command sweep runs a cartesian parameter sweep (applications x
+// clustering x memory pressure x associativity x bandwidths) and emits
+// one CSV row per simulated point, for plotting or regression tracking.
+//
+//	go run ./cmd/sweep -apps fft,radix -ppn 1,4 -mp 50%,81% > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+)
+
+func main() {
+	apps := flag.String("apps", "", "comma-separated workloads (default: all 14)")
+	ppn := flag.String("ppn", "1,2,4", "comma-separated processors per node")
+	mps := flag.String("mp", "", "comma-separated pressures, e.g. 6%,50% (default: all 5)")
+	ways := flag.String("ways", "4", "comma-separated AM associativities")
+	dram := flag.String("dram", "1", "comma-separated DRAM bandwidth multipliers")
+	verbose := flag.Bool("v", false, "progress to stderr")
+	dryRun := flag.Bool("n", false, "print the point count and exit")
+	flag.Parse()
+
+	spec := experiments.SweepSpec{
+		Apps:         splitList(*apps),
+		ProcsPerNode: mustInts(*ppn),
+		AMWays:       mustInts(*ways),
+		DRAM:         mustFloats(*dram),
+	}
+	for _, label := range splitList(*mps) {
+		p, err := config.PressureByLabel(label)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Pressures = append(spec.Pressures, p)
+	}
+	if *dryRun {
+		fmt.Printf("%d points\n", spec.Points())
+		return
+	}
+	r := experiments.NewRunner()
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+	rows, err := r.Sweep(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteSweepCSV(os.Stdout, rows); err != nil {
+		fatal(err)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func mustInts(s string) []int {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func mustFloats(s string) []float64 {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command tracedump generates workload traces and prints their summary
+// statistics: footprint, reference counts, sharing degree and generation
+// time. Useful for inspecting and tuning the workload kernels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/trace"
+)
+
+func main() {
+	only := flag.String("app", "", "generate only this application (default: all)")
+	procs := flag.Int("procs", 16, "logical processor count")
+	saveDir := flag.String("save", "", "serialize generated traces into this directory")
+	load := flag.String("load", "", "summarize a serialized trace file instead of generating")
+	flag.Parse()
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		summarize(tr, 0)
+		return
+	}
+
+	fmt.Printf("%-10s %8s %9s %9s %9s %9s %9s %9s %8s\n",
+		"app", "ws(KB)", "reads", "writes", "acquires", "barriers", "lines", "shared", "gen(s)")
+	for _, app := range apps.Registry {
+		if *only != "" && app.Name != *only {
+			continue
+		}
+		start := time.Now()
+		tr := app.Generate(*procs)
+		el := time.Since(start)
+		if err := tr.Validate(); err != nil {
+			fatal(fmt.Errorf("%s: %w", app.Name, err))
+		}
+		summarize(tr, el.Seconds())
+		if *saveDir != "" {
+			if err := saveTrace(tr, *saveDir); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func summarize(tr *trace.Trace, genSeconds float64) {
+	s := tr.Summarize()
+	fmt.Printf("%-10s %8d %9d %9d %9d %9d %9d %9d %8.2f\n",
+		tr.Name, tr.WorkingSet/1024, s.Reads, s.Writes, s.Acquires, s.Barriers,
+		s.DistinctLines, s.SharedLines, genSeconds)
+}
+
+func saveTrace(tr *trace.Trace, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, tr.Name+".trace")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := tr.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro is a reproduction of "A Study of the Efficiency of Shared
+// Attraction Memories in Cluster-Based COMA Multiprocessors" (Landin &
+// Karlgren, IPPS 1997): a program-driven simulator for 16-processor
+// bus-based COMA machines with 1, 2 or 4 processors per node sharing an
+// attraction memory, driven by fourteen SPLASH-2-style workload kernels.
+//
+// The public entry point is repro/internal/core; the benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured results).
+package repro

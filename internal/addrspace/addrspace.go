@@ -1,0 +1,100 @@
+// Package addrspace models the simulated shared physical address space of
+// the machine: a demand-paged, consecutively allocated space (as in the
+// paper: "Data pages are allocated consecutively on demand"), plus the
+// line/set arithmetic the caches and attraction memories index with.
+package addrspace
+
+import "fmt"
+
+// Geometry constants shared by the whole machine model (paper Section 3).
+const (
+	// LineSize is the cache line size in bytes.
+	LineSize = 64
+	// PageSize is the data page size in bytes.
+	PageSize = 4096
+	// LinesPerPage is the number of cache lines per page.
+	LinesPerPage = PageSize / LineSize
+)
+
+// Addr is a simulated physical byte address.
+type Addr uint64
+
+// Line is a cache-line identifier (Addr / LineSize).
+type Line uint64
+
+// LineOf returns the line containing a.
+func LineOf(a Addr) Line { return Line(a / LineSize) }
+
+// Base returns the first byte address of the line.
+func (l Line) Base() Addr { return Addr(l) * LineSize }
+
+// Page returns the page number containing the line.
+func (l Line) Page() uint64 { return uint64(l) / LinesPerPage }
+
+// SetIndex maps the line onto one of nsets cache sets. The attraction
+// memories in the paper have "odd" (non-power-of-two) sizes because they
+// are derived from the application working set and the memory pressure,
+// so indexing is plain modulo rather than bit selection.
+func (l Line) SetIndex(nsets int) int {
+	if nsets <= 0 {
+		panic("addrspace: non-positive set count")
+	}
+	return int(uint64(l) % uint64(nsets))
+}
+
+// Segment describes one named allocation in the space.
+type Segment struct {
+	Name string
+	Base Addr
+	Size uint64
+}
+
+// End returns the first address past the segment.
+func (s Segment) End() Addr { return s.Base + Addr(s.Size) }
+
+// Space is a simple bump allocator over the simulated physical space.
+// Allocations are page-aligned so distinct data structures never share a
+// page, mirroring separate OS allocations; elements within a structure
+// share lines exactly as the element layout dictates, which is what
+// produces (or avoids) false sharing in the workloads.
+type Space struct {
+	next     Addr
+	segments []Segment
+}
+
+// New returns an empty address space. The space deliberately skips page 0
+// so that address 0 is never a valid data address.
+func New() *Space {
+	return &Space{next: PageSize}
+}
+
+// Alloc reserves size bytes under the given diagnostic name and returns
+// the base address. The allocation is rounded up to whole pages.
+func (s *Space) Alloc(name string, size uint64) Addr {
+	if size == 0 {
+		panic(fmt.Sprintf("addrspace: zero-size allocation %q", name))
+	}
+	base := s.next
+	pages := (size + PageSize - 1) / PageSize
+	s.next += Addr(pages * PageSize)
+	s.segments = append(s.segments, Segment{Name: name, Base: base, Size: size})
+	return base
+}
+
+// Segments returns the allocations made so far, in allocation order.
+func (s *Space) Segments() []Segment { return s.segments }
+
+// Allocated returns the total bytes reserved, rounded to pages. This is
+// the application working-set figure the memory pressure is derived from.
+func (s *Space) Allocated() uint64 { return uint64(s.next - PageSize) }
+
+// SegmentOf returns the segment containing a, or false if a was never
+// allocated. Intended for diagnostics and tests, not hot paths.
+func (s *Space) SegmentOf(a Addr) (Segment, bool) {
+	for _, seg := range s.segments {
+		if a >= seg.Base && a < seg.Base+Addr((seg.Size+PageSize-1)/PageSize*PageSize) {
+			return seg, true
+		}
+	}
+	return Segment{}, false
+}

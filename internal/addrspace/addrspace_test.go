@@ -1,0 +1,119 @@
+package addrspace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineMath(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 1 {
+		t.Fatal("LineOf broken at line boundaries")
+	}
+	l := LineOf(Addr(3 * LineSize))
+	if l.Base() != Addr(3*LineSize) {
+		t.Fatalf("Base = %v", l.Base())
+	}
+	if Line(LinesPerPage).Page() != 1 || Line(LinesPerPage-1).Page() != 0 {
+		t.Fatal("Page boundary wrong")
+	}
+}
+
+func TestSetIndexRange(t *testing.T) {
+	prop := func(l uint64, nsets uint16) bool {
+		n := int(nsets%1024) + 1
+		idx := Line(l).SetIndex(n)
+		return idx >= 0 && idx < n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetIndexPanicsOnZeroSets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Line(1).SetIndex(0)
+}
+
+func TestAllocPageAligned(t *testing.T) {
+	s := New()
+	a := s.Alloc("a", 100)
+	b := s.Alloc("b", PageSize+1)
+	c := s.Alloc("c", 1)
+	if a%PageSize != 0 || b%PageSize != 0 || c%PageSize != 0 {
+		t.Fatal("allocations must be page aligned")
+	}
+	if a == 0 {
+		t.Fatal("address zero must never be allocated")
+	}
+	if b != a+PageSize {
+		t.Fatalf("consecutive allocation: b = %#x, want %#x", b, a+PageSize)
+	}
+	if c != b+2*PageSize {
+		t.Fatalf("rounding: c = %#x, want %#x", c, b+2*PageSize)
+	}
+	if got := s.Allocated(); got != 4*PageSize {
+		t.Fatalf("Allocated = %d, want %d", got, 4*PageSize)
+	}
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Alloc("zero", 0)
+}
+
+func TestSegments(t *testing.T) {
+	s := New()
+	s.Alloc("x", 10)
+	s.Alloc("y", 20)
+	segs := s.Segments()
+	if len(segs) != 2 || segs[0].Name != "x" || segs[1].Name != "y" {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if segs[0].End() != segs[0].Base+10 {
+		t.Fatal("End wrong")
+	}
+	seg, ok := s.SegmentOf(segs[1].Base + 5)
+	if !ok || seg.Name != "y" {
+		t.Fatalf("SegmentOf = %+v, %v", seg, ok)
+	}
+	if _, ok := s.SegmentOf(0); ok {
+		t.Fatal("address 0 must not resolve")
+	}
+}
+
+// Property: distinct allocations never overlap.
+func TestAllocNoOverlap(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		s := New()
+		type rng struct{ lo, hi Addr }
+		var rs []rng
+		for i, sz := range sizes {
+			if i >= 20 {
+				break
+			}
+			size := uint64(sz%5000) + 1
+			base := s.Alloc("seg", size)
+			pages := (size + PageSize - 1) / PageSize
+			rs = append(rs, rng{base, base + Addr(pages*PageSize)})
+		}
+		for i := range rs {
+			for j := i + 1; j < len(rs); j++ {
+				if rs[i].lo < rs[j].hi && rs[j].lo < rs[i].hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package analysis implements the paper's Section 4.2 analytical model of
+// replication space: at which memory pressure does a set-associative
+// attraction memory stop having room to replicate one cache line in every
+// node of the machine?
+//
+// The paper derives: with single-processor nodes and 4-way AMs, above
+// 76.5% MP (49/64) a line can no longer be replicated over all 16 nodes,
+// while 8-way associativity moves the threshold to 88.2% (113/128); with
+// 4-processor clusters the levels are 81.25% (13/16) and 90.6% (29/32).
+// This package reproduces those numbers exactly and generalizes them.
+package analysis
+
+import "fmt"
+
+// Machine describes a clustered COMA for threshold analysis.
+type Machine struct {
+	// Procs is the total processor count.
+	Procs int
+	// ProcsPerNode is the clustering degree.
+	ProcsPerNode int
+	// AMWays is the attraction-memory associativity.
+	AMWays int
+}
+
+// Nodes returns the node count.
+func (m Machine) Nodes() int { return m.Procs / m.ProcsPerNode }
+
+// ReplicationThreshold returns the memory pressure above which a cache
+// line can no longer be replicated in every node of the machine, as an
+// exact fraction (numerator, denominator) and a float.
+//
+// Derivation (paper §4.2): consider one associativity class. Holding the
+// per-processor AM quota constant, a node of c processors has a c-times
+// larger AM and therefore c-times more sets, so machine-wide each set
+// offers nodes*ways line slots. A memory pressure of MP fills MP *
+// nodes*ways of them with unique data (the working set is spread evenly
+// over sets); replicating one line in all nodes needs nodes slots, one
+// per node, in that line's set. Replication everywhere is possible while
+//
+//	MP * nodes * ways + nodes <= nodes * ways
+//
+// i.e. MP <= (ways - 1) / ways ... for the line itself already counted
+// once in the unique data: the paper counts the line's own copy inside
+// the working set, needing only nodes-1 extra slots:
+//
+//	MP <= (nodes*ways - (nodes - 1)) / (nodes * ways)
+func (m Machine) ReplicationThreshold() (num, den int, frac float64) {
+	nodes := m.Nodes()
+	den = nodes * m.AMWays
+	num = den - (nodes - 1)
+	return num, den, float64(num) / float64(den)
+}
+
+// ReplicationDegree returns how many copies of a line fit machine-wide at
+// the given memory pressure (at least 1: the datum itself always exists).
+func (m Machine) ReplicationDegree(mp float64) int {
+	nodes := m.Nodes()
+	slots := float64(nodes * m.AMWays)
+	free := slots - mp*slots
+	copies := 1 + int(free)
+	if copies > nodes {
+		copies = nodes
+	}
+	if copies < 1 {
+		copies = 1
+	}
+	return copies
+}
+
+// String renders the configuration.
+func (m Machine) String() string {
+	return fmt.Sprintf("%d procs, %d/node, %d-way AM", m.Procs, m.ProcsPerNode, m.AMWays)
+}
+
+// ThresholdRow is one entry of the paper's §4.2 comparison.
+type ThresholdRow struct {
+	Machine   Machine
+	Num, Den  int
+	Threshold float64
+}
+
+// PaperTable reproduces the four configurations the paper quotes.
+func PaperTable() []ThresholdRow {
+	configs := []Machine{
+		{Procs: 16, ProcsPerNode: 1, AMWays: 4},
+		{Procs: 16, ProcsPerNode: 1, AMWays: 8},
+		{Procs: 16, ProcsPerNode: 4, AMWays: 4},
+		{Procs: 16, ProcsPerNode: 4, AMWays: 8},
+	}
+	rows := make([]ThresholdRow, len(configs))
+	for i, m := range configs {
+		n, d, f := m.ReplicationThreshold()
+		rows[i] = ThresholdRow{Machine: m, Num: n, Den: d, Threshold: f}
+	}
+	return rows
+}

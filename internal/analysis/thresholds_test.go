@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The paper quotes four replication thresholds in Section 4.2; the model
+// must reproduce all of them exactly.
+func TestPaperThresholds(t *testing.T) {
+	cases := []struct {
+		m        Machine
+		num, den int
+		pct      float64
+	}{
+		// "for single processor nodes with 4-way associative attraction
+		// memories, above 76.5% MP (49/64) there is no longer space to
+		// replicate a cache line over all the 16 nodes"
+		{Machine{16, 1, 4}, 49, 64, 76.5},
+		// "8-way associativity moves this threshold to 88.2% MP (113/128)"
+		{Machine{16, 1, 8}, 113, 128, 88.2},
+		// "With four-processor clusters, the corresponding levels are
+		// 81.25% MP (13/16)"
+		{Machine{16, 4, 4}, 13, 16, 81.25},
+		// "and 90.6% MP (29/32)"
+		{Machine{16, 4, 8}, 29, 32, 90.6},
+	}
+	for _, c := range cases {
+		num, den, frac := c.m.ReplicationThreshold()
+		if num != c.num || den != c.den {
+			t.Errorf("%v: threshold %d/%d, want %d/%d", c.m, num, den, c.num, c.den)
+		}
+		if math.Abs(100*frac-c.pct) > 0.1 {
+			t.Errorf("%v: threshold %.2f%%, want %.2f%%", c.m, 100*frac, c.pct)
+		}
+	}
+}
+
+// The paper's studied pressures straddle the thresholds exactly as the
+// traffic figures show: 81% is below the clustered 4-way threshold
+// (81.25%) but above the unclustered one (76.5%); 87% is above both
+// 4-way thresholds but below both 8-way thresholds.
+func TestPressuresVsThresholds(t *testing.T) {
+	_, _, un4 := Machine{16, 1, 4}.ReplicationThreshold()
+	_, _, un8 := Machine{16, 1, 8}.ReplicationThreshold()
+	_, _, cl4 := Machine{16, 4, 4}.ReplicationThreshold()
+	_, _, cl8 := Machine{16, 4, 8}.ReplicationThreshold()
+	const mp81, mp87 = 13.0 / 16, 14.0 / 16
+	if !(mp81 > un4 && mp81 <= cl4) {
+		t.Errorf("81%% should straddle the 4-way thresholds (%v, %v)", un4, cl4)
+	}
+	if !(mp87 > cl4 && mp87 < un8 && mp87 < cl8) {
+		t.Errorf("87%% should exceed 4-way and stay below 8-way thresholds")
+	}
+}
+
+func TestReplicationDegree(t *testing.T) {
+	m := Machine{16, 1, 4}
+	if got := m.ReplicationDegree(0.0625); got != 16 {
+		t.Fatalf("6%% MP: %d copies, want full replication (16)", got)
+	}
+	if got := m.ReplicationDegree(1.0); got != 1 {
+		t.Fatalf("100%% MP: %d copies, want 1", got)
+	}
+	// Degrees decrease monotonically with pressure.
+	prev := 17
+	for mp := 0.0; mp <= 1.0; mp += 0.05 {
+		d := m.ReplicationDegree(mp)
+		if d > prev {
+			t.Fatalf("replication degree rose with pressure at %.2f", mp)
+		}
+		prev = d
+	}
+}
+
+func TestPaperTable(t *testing.T) {
+	rows := PaperTable()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Num != 49 || rows[3].Num != 29 {
+		t.Fatalf("table %+v", rows)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Machine{16, 4, 8}.String()
+	if !strings.Contains(s, "4/node") || !strings.Contains(s, "8-way") {
+		t.Fatalf("got %q", s)
+	}
+}

@@ -1,0 +1,316 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Body and cell record layout (16 f64 = 128 B each, two cache lines).
+const (
+	bodyStride = 16
+	bodyPos    = 0 // 3 doubles
+	bodyVel    = 3 // 3 doubles
+	bodyAcc    = 6 // 3 doubles
+	bodyMass   = 9
+
+	cellStride = 16
+	cellCenter = 0 // 3 doubles: geometric center
+	cellHalf   = 3 // half-width
+	cellCOM    = 4 // 3 doubles: center of mass
+	cellMass   = 7
+)
+
+// Barnes is the SPLASH-2 Barnes-Hut N-body kernel: per step the octree is
+// rebuilt in parallel under per-cell locks, centers of mass are computed
+// level by level, and every processor computes forces for its bodies by
+// traversing the shared tree with the opening criterion — the irregular,
+// pointer-chasing, read-shared pattern that puts Barnes in the paper's
+// conflict-sensitive group. Mass conservation at the root is verified.
+func Barnes(procs, nbody, steps int) *trace.Trace {
+	g := NewGen("barnes", procs)
+	maxCells := 4 * nbody
+	bodies := g.F64("bodies", nbody*bodyStride)
+	cells := g.F64("cells", maxCells*cellStride)
+	// children[c*8+o]: 0 empty, k>0 cell k-1, k<0 body -k-1.
+	children := g.I32("children", maxCells*8)
+	cellLocks := g.NewLocks("cell", 512) // locks hash over cells
+	allocLock := g.NewLock("cell-alloc")
+	nextCell := g.I32("next-cell", 16)
+
+	lockOf := func(c int) Lock { return cellLocks[c%len(cellLocks)] }
+	bAt := func(b, f int) int { return b*bodyStride + f }
+	cAt := func(c, f int) int { return c*cellStride + f }
+
+	// Plummer-ish clustered initial conditions, written by processor 0.
+	var totalMass float64
+	for b := 0; b < nbody; b++ {
+		r := 1.0 / (math.Sqrt(math.Pow(g.rng.Float64()*0.9+1e-3, -2.0/3.0)-1) + 0.5)
+		for d := 0; d < 3; d++ {
+			bodies.Write(0, bAt(b, bodyPos+d), g.rng.NormFloat64()*r)
+			bodies.Write(0, bAt(b, bodyVel+d), g.rng.NormFloat64()*0.05)
+		}
+		m := 1.0 / float64(nbody)
+		bodies.Write(0, bAt(b, bodyMass), m)
+		totalMass += m
+		g.Compute(0, 30)
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	const theta = 0.9
+	const dt = 0.05
+	for step := 0; step < steps; step++ {
+		// --- Tree build (parallel, per-cell locks) ---
+		// Processor 0 resets the root; a real run reuses free lists.
+		for c := 0; c < 8; c++ {
+			children.Write(0, c, 0)
+		}
+		rootHalf := 16.0
+		cells.Write(0, cAt(0, cellHalf), rootHalf)
+		for d := 0; d < 3; d++ {
+			cells.Write(0, cAt(0, cellCenter+d), 0)
+		}
+		nextCell.Write(0, 0, 1)
+		g.Barrier()
+
+		cellDepth := []int{0} // generator-side depth bookkeeping
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(nbody, procs, p)
+			for b := lo; b < hi; b++ {
+				barnesInsert(g, p, b, bodies, cells, children, nextCell,
+					lockOf, allocLock, &cellDepth, maxCells)
+			}
+		}
+		g.Barrier()
+
+		// --- Centers of mass, deepest level first ---
+		nc := int(nextCell.Peek(0))
+		maxDepth := 0
+		for _, d := range cellDepth {
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+		for depth := maxDepth; depth >= 0; depth-- {
+			for c := 0; c < nc; c++ {
+				if cellDepth[c] != depth {
+					continue
+				}
+				p := c % procs
+				var com [3]float64
+				var mass float64
+				for o := 0; o < 8; o++ {
+					ch := children.Read(p, c*8+o)
+					switch {
+					case ch == 0:
+					case ch > 0:
+						sub := int(ch) - 1
+						m := cells.Read(p, cAt(sub, cellMass))
+						for d := 0; d < 3; d++ {
+							com[d] += m * cells.Read(p, cAt(sub, cellCOM+d))
+						}
+						mass += m
+					default:
+						bd := int(-ch) - 1
+						m := bodies.Read(p, bAt(bd, bodyMass))
+						for d := 0; d < 3; d++ {
+							com[d] += m * bodies.Read(p, bAt(bd, bodyPos+d))
+						}
+						mass += m
+					}
+					g.Compute(p, 8)
+				}
+				if mass > 0 {
+					for d := 0; d < 3; d++ {
+						cells.Write(p, cAt(c, cellCOM+d), com[d]/mass)
+					}
+				}
+				cells.Write(p, cAt(c, cellMass), mass)
+			}
+			g.Barrier()
+		}
+
+		// --- Force computation: tree walk per body ---
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(nbody, procs, p)
+			for b := lo; b < hi; b++ {
+				var pos [3]float64
+				for d := 0; d < 3; d++ {
+					pos[d] = bodies.Read(p, bAt(b, bodyPos+d))
+				}
+				var acc [3]float64
+				stack := []int{0}
+				for len(stack) > 0 {
+					c := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					half := cells.Read(p, cAt(c, cellHalf))
+					m := cells.Read(p, cAt(c, cellMass))
+					var dv [3]float64
+					var r2 float64
+					for d := 0; d < 3; d++ {
+						dv[d] = cells.Read(p, cAt(c, cellCOM+d)) - pos[d]
+						r2 += dv[d] * dv[d]
+					}
+					g.Compute(p, 12)
+					if m == 0 {
+						continue
+					}
+					if (2*half)*(2*half) < theta*theta*r2 {
+						inv := m / math.Pow(r2+0.01, 1.5)
+						for d := 0; d < 3; d++ {
+							acc[d] += dv[d] * inv
+						}
+						g.Compute(p, 15)
+						continue
+					}
+					for o := 0; o < 8; o++ {
+						ch := children.Read(p, c*8+o)
+						if ch > 0 {
+							stack = append(stack, int(ch)-1)
+						} else if ch < 0 {
+							bd := int(-ch) - 1
+							if bd == b {
+								continue
+							}
+							var r2b float64
+							var db [3]float64
+							for d := 0; d < 3; d++ {
+								db[d] = bodies.Read(p, bAt(bd, bodyPos+d)) - pos[d]
+								r2b += db[d] * db[d]
+							}
+							mb := bodies.Read(p, bAt(bd, bodyMass))
+							inv := mb / math.Pow(r2b+0.01, 1.5)
+							for d := 0; d < 3; d++ {
+								acc[d] += db[d] * inv
+							}
+							g.Compute(p, 20)
+						}
+					}
+				}
+				for d := 0; d < 3; d++ {
+					bodies.Write(p, bAt(b, bodyAcc+d), acc[d])
+				}
+			}
+		}
+		g.Barrier()
+
+		// --- Advance (local) ---
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(nbody, procs, p)
+			for b := lo; b < hi; b++ {
+				for d := 0; d < 3; d++ {
+					v := bodies.Read(p, bAt(b, bodyVel+d)) + dt*bodies.Read(p, bAt(b, bodyAcc+d))
+					bodies.Write(p, bAt(b, bodyVel+d), v)
+					x := bodies.Read(p, bAt(b, bodyPos+d)) + dt*v
+					// Keep bodies inside the root box.
+					if x > 15 {
+						x = 15
+					} else if x < -15 {
+						x = -15
+					}
+					bodies.Write(p, bAt(b, bodyPos+d), x)
+					g.Compute(p, 8)
+				}
+			}
+		}
+		g.Barrier()
+
+		// Self-check (untraced): root mass equals total body mass.
+		if rm := cells.Peek(cAt(0, cellMass)); math.Abs(rm-totalMass) > 1e-9*totalMass+1e-12 {
+			panic(fmt.Sprintf("barnes: root mass %g, want %g", rm, totalMass))
+		}
+	}
+	return g.Finish()
+}
+
+// barnesInsert inserts body b into the octree under per-cell locks,
+// splitting leaves as needed (the standard Barnes-Hut loading phase).
+func barnesInsert(g *Gen, p, b int, bodies, cells *F64, children *I32,
+	nextCell *I32, lockOf func(int) Lock, allocLock Lock,
+	cellDepth *[]int, maxCells int) {
+
+	var pos [3]float64
+	for d := 0; d < 3; d++ {
+		pos[d] = bodies.Read(p, b*bodyStride+bodyPos+d)
+	}
+	cur := 0
+	for {
+		lk := lockOf(cur)
+		g.Acquire(p, lk)
+		oct, center, half := barnesOctant(g, p, cur, pos, cells)
+		ch := children.Read(p, cur*8+oct)
+		switch {
+		case ch == 0:
+			children.Write(p, cur*8+oct, int32(-(b + 1)))
+			g.Release(p, lk)
+			return
+		case ch > 0:
+			g.Release(p, lk)
+			cur = int(ch) - 1
+		default:
+			// Leaf collision: split into a subcell holding the old body,
+			// then retry from the subcell.
+			old := int(-ch) - 1
+			g.Acquire(p, allocLock)
+			nc := int(nextCell.Read(p, 0))
+			if nc >= maxCells {
+				panic("barnes: cell arena exhausted")
+			}
+			nextCell.Write(p, 0, int32(nc+1))
+			g.Release(p, allocLock)
+			for len(*cellDepth) <= nc {
+				*cellDepth = append(*cellDepth, 0)
+			}
+			(*cellDepth)[nc] = (*cellDepth)[cur] + 1
+			if (*cellDepth)[nc] > 64 {
+				panic("barnes: coincident bodies (tree too deep)")
+			}
+			// New subcell geometry: center derived from the parent octant.
+			h2 := half / 2
+			cells.Write(p, nc*cellStride+cellHalf, h2)
+			for d := 0; d < 3; d++ {
+				off := -h2
+				if oct&(1<<uint(d)) != 0 {
+					off = h2
+				}
+				cells.Write(p, nc*cellStride+cellCenter+d, center[d]+off)
+			}
+			for o := 0; o < 8; o++ {
+				children.Write(p, nc*8+o, 0)
+			}
+			// Move the old body into the subcell.
+			var oldPos [3]float64
+			for d := 0; d < 3; d++ {
+				oldPos[d] = bodies.Read(p, old*bodyStride+bodyPos+d)
+			}
+			oldOct := 0
+			for d := 0; d < 3; d++ {
+				if oldPos[d] > cells.Peek(nc*cellStride+cellCenter+d) {
+					oldOct |= 1 << uint(d)
+				}
+			}
+			children.Write(p, nc*8+oldOct, int32(-(old + 1)))
+			children.Write(p, cur*8+oct, int32(nc+1))
+			g.Release(p, lk)
+			cur = nc
+		}
+		g.Compute(p, 10)
+	}
+}
+
+// barnesOctant reads the cell geometry and picks the octant for pos.
+func barnesOctant(g *Gen, p, c int, pos [3]float64, cells *F64) (int, [3]float64, float64) {
+	var center [3]float64
+	oct := 0
+	for d := 0; d < 3; d++ {
+		center[d] = cells.Read(p, c*cellStride+cellCenter+d)
+		if pos[d] > center[d] {
+			oct |= 1 << uint(d)
+		}
+	}
+	half := cells.Read(p, c*cellStride+cellHalf)
+	g.Compute(p, 8)
+	return oct, center, half
+}

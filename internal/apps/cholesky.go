@@ -1,0 +1,125 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Cholesky models the SPLASH-2 sparse Cholesky factorization on a banded
+// symmetric positive-definite matrix, factored by supernodes (panels of
+// adjacent columns) with 2-D ownership: after a supernode's owner factors
+// it, the owners of the supernodes inside its band update their panels
+// against it (read-shared panel broadcasts, like the sparse supernodal
+// right-looking algorithm). The factor is verified against the original
+// matrix on sampled entries.
+func Cholesky(procs, n int) *trace.Trace {
+	const band = 32 // semi-bandwidth
+	const snode = 8 // supernode width
+	if n%snode != 0 || band%snode != 0 {
+		panic(fmt.Sprintf("cholesky: n=%d/band=%d not multiples of supernode %d", n, band, snode))
+	}
+	g := NewGen("cholesky", procs)
+	// Packed band storage: column j holds rows j..j+band at
+	// a[j*(band+1) + (i-j)].
+	a := g.F64("band-matrix", n*(band+1))
+	at := func(i, j int) int { return j*(band+1) + (i - j) }
+	inBand := func(i, j int) bool { return i >= j && i-j <= band && i < n }
+
+	// Init by processor 0: random band, strongly diagonally dominant so
+	// the matrix is SPD.
+	orig := make([]float64, n*(band+1))
+	for j := 0; j < n; j++ {
+		for i := j; i <= j+band && i < n; i++ {
+			v := g.rng.Float64() * 0.5
+			if i == j {
+				v += float64(band) * 2
+			}
+			orig[at(i, j)] = v
+			a.Write(0, at(i, j), v)
+			g.Compute(0, 2)
+		}
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	ns := n / snode
+	owner := func(s int) int { return s % procs }
+	// Panel-ready synchronization is lock-based, as in the original's
+	// task-queue execution: the owner factors supernode k under lk[k];
+	// updaters touch lk[k] before reading the panel. A barrier every
+	// few supernodes bounds the pipeline skew.
+	panelLock := g.NewLocks("panel", ns)
+	for k := 0; k < ns; k++ {
+		// Factor supernode k: dense Cholesky of the panel's columns.
+		p := owner(k)
+		g.Acquire(p, panelLock[k])
+		for jj := 0; jj < snode; jj++ {
+			j := k*snode + jj
+			// Internal updates from earlier columns of the supernode.
+			for t := k * snode; t < j; t++ {
+				if !inBand(j, t) {
+					continue
+				}
+				ljt := a.Read(p, at(j, t))
+				for i := j; i <= j+band && i < n && inBand(i, t); i++ {
+					v := a.Read(p, at(i, j)) - a.Read(p, at(i, t))*ljt
+					a.Write(p, at(i, j), v)
+					g.Compute(p, 4)
+				}
+			}
+			d := math.Sqrt(a.Read(p, at(j, j)))
+			a.Write(p, at(j, j), d)
+			for i := j + 1; i <= j+band && i < n; i++ {
+				a.Write(p, at(i, j), a.Read(p, at(i, j))/d)
+				g.Compute(p, 3)
+			}
+		}
+		g.Release(p, panelLock[k])
+		// Update the supernodes reached by k's band: their owners pass
+		// through panel k's lock (task-ready check) and then read the
+		// panel (broadcast) to update their own columns.
+		for s := k + 1; s <= k+band/snode && s < ns; s++ {
+			p := owner(s)
+			g.Acquire(p, panelLock[k])
+			g.Release(p, panelLock[k])
+			for jj := 0; jj < snode; jj++ {
+				j := s*snode + jj
+				for t := k * snode; t < (k+1)*snode; t++ {
+					if !inBand(j, t) {
+						continue
+					}
+					ljt := a.Read(p, at(j, t))
+					for i := j; i <= j+band && i < n && inBand(i, t); i++ {
+						v := a.Read(p, at(i, j)) - a.Read(p, at(i, t))*ljt
+						a.Write(p, at(i, j), v)
+						g.Compute(p, 4)
+					}
+				}
+			}
+		}
+		if k%8 == 7 || k == ns-1 {
+			g.Barrier()
+		}
+	}
+
+	// Self-check (untraced): (L L^T)[i][j] == orig[i][j] on samples.
+	for s := 0; s < 16; s++ {
+		j := g.rng.Intn(n)
+		i := j + g.rng.Intn(band+1)
+		if i >= n {
+			i = n - 1
+		}
+		var v float64
+		for t := 0; t <= j; t++ {
+			if inBand(i, t) && inBand(j, t) {
+				v += a.Peek(at(i, t)) * a.Peek(at(j, t))
+			}
+		}
+		if math.Abs(v-orig[at(i, j)]) > 1e-6*(1+math.Abs(orig[at(i, j)])) {
+			panic(fmt.Sprintf("cholesky: (LL^T)[%d][%d] = %g, want %g", i, j, v, orig[at(i, j)]))
+		}
+	}
+	return g.Finish()
+}

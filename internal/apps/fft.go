@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/trace"
+)
+
+// FFT is the SPLASH-2 six-step 1-D FFT: the n = m*m complex points are
+// viewed as an m-by-m matrix; the algorithm alternates all-to-all
+// transposes (the communication phases that dominate FFT's bus traffic)
+// with processor-local row FFTs and a twiddle scaling against a shared
+// read-only roots-of-unity table. The result is verified against a direct
+// DFT at generation time.
+func FFT(procs, n int) *trace.Trace {
+	m := int(math.Round(math.Sqrt(float64(n))))
+	if m*m != n || m&(m-1) != 0 {
+		panic(fmt.Sprintf("fft: n=%d is not an even power of two square", n))
+	}
+	g := NewGen("fft", procs)
+	x := g.F64("x", 2*n)
+	t := g.F64("trans", 2*n)
+	roots := g.F64("roots", 2*n)
+
+	// Initialization (traced, before the measured section): processor 0
+	// writes the input signal and the roots-of-unity table, as the
+	// original code's serial init does.
+	orig := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		re, im := g.rng.NormFloat64(), g.rng.NormFloat64()
+		x.Write(0, 2*i, re)
+		x.Write(0, 2*i+1, im)
+		orig[i] = complex(re, im)
+		g.Compute(0, 4)
+	}
+	for j := 0; j < n; j++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(n)))
+		roots.Write(0, 2*j, real(w))
+		roots.Write(0, 2*j+1, imag(w))
+		g.Compute(0, 12)
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	fftTranspose(g, x, t, m) // t = x^T: columns become rows
+	g.Barrier()
+	fftRows(g, t, roots, m, n) // FFT along original row index
+	g.Barrier()
+	fftTwiddle(g, t, roots, m, n) // t[l2][k1] *= w^(k1*l2)
+	fftTranspose(g, t, x, m)
+	g.Barrier()
+	fftRows(g, x, roots, m, n)
+	g.Barrier()
+	fftTranspose(g, x, t, m) // natural-order result in t
+	g.Barrier()
+
+	fftSelfCheck(g, t, orig, n)
+	return g.Finish()
+}
+
+// fftTranspose writes dst[r][c] = src[c][r]; each processor produces a
+// contiguous band of destination rows, reading a strided column of the
+// source (data produced by every other processor — the all-to-all).
+func fftTranspose(g *Gen, src, dst *F64, m int) {
+	for p := 0; p < g.Procs(); p++ {
+		lo, hi := Chunk(m, g.Procs(), p)
+		for r := lo; r < hi; r++ {
+			for c := 0; c < m; c++ {
+				re := src.Read(p, 2*(c*m+r))
+				im := src.Read(p, 2*(c*m+r)+1)
+				dst.Write(p, 2*(r*m+c), re)
+				dst.Write(p, 2*(r*m+c)+1, im)
+				g.Compute(p, 4)
+			}
+		}
+	}
+}
+
+// fftRows runs an in-place iterative radix-2 FFT on each processor's band
+// of rows, reading twiddles from the shared roots table (index stride m).
+func fftRows(g *Gen, a *F64, roots *F64, m, n int) {
+	for p := 0; p < g.Procs(); p++ {
+		lo, hi := Chunk(m, g.Procs(), p)
+		for r := lo; r < hi; r++ {
+			base := r * m
+			// Bit-reversal permutation.
+			for i, j := 0, 0; i < m; i++ {
+				if i < j {
+					ar, ai := a.Read(p, 2*(base+i)), a.Read(p, 2*(base+i)+1)
+					br, bi := a.Read(p, 2*(base+j)), a.Read(p, 2*(base+j)+1)
+					a.Write(p, 2*(base+i), br)
+					a.Write(p, 2*(base+i)+1, bi)
+					a.Write(p, 2*(base+j), ar)
+					a.Write(p, 2*(base+j)+1, ai)
+					g.Compute(p, 6)
+				}
+				for k := m >> 1; k > 0; k >>= 1 {
+					j ^= k
+					if j&k != 0 {
+						break
+					}
+				}
+			}
+			// Butterflies.
+			for span := 1; span < m; span <<= 1 {
+				step := m / (2 * span) // twiddle index stride within W_m
+				for k := 0; k < span; k++ {
+					wr := roots.Read(p, 2*(k*step*m)%(2*n))
+					wi := roots.Read(p, (2*(k*step*m)+1)%(2*n))
+					for i := k; i < m; i += 2 * span {
+						lo1, hi1 := base+i, base+i+span
+						ar, ai := a.Read(p, 2*lo1), a.Read(p, 2*lo1+1)
+						br, bi := a.Read(p, 2*hi1), a.Read(p, 2*hi1+1)
+						tr := br*wr - bi*wi
+						ti := br*wi + bi*wr
+						a.Write(p, 2*lo1, ar+tr)
+						a.Write(p, 2*lo1+1, ai+ti)
+						a.Write(p, 2*hi1, ar-tr)
+						a.Write(p, 2*hi1+1, ai-ti)
+						g.Compute(p, 12)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fftTwiddle scales t[l2][k1] by w^(k1*l2) from the shared table.
+func fftTwiddle(g *Gen, t *F64, roots *F64, m, n int) {
+	for p := 0; p < g.Procs(); p++ {
+		lo, hi := Chunk(m, g.Procs(), p)
+		for l2 := lo; l2 < hi; l2++ {
+			for k1 := 0; k1 < m; k1++ {
+				idx := (k1 * l2) % n
+				wr := roots.Read(p, 2*idx)
+				wi := roots.Read(p, 2*idx+1)
+				c := l2*m + k1
+				ar, ai := t.Read(p, 2*c), t.Read(p, 2*c+1)
+				t.Write(p, 2*c, ar*wr-ai*wi)
+				t.Write(p, 2*c+1, ar*wi+ai*wr)
+				g.Compute(p, 8)
+			}
+		}
+	}
+}
+
+// fftSelfCheck compares a handful of outputs against a direct DFT
+// (untraced); generation panics on numerical disagreement, making every
+// simulated run a verified computation.
+func fftSelfCheck(g *Gen, t *F64, orig []complex128, n int) {
+	for s := 0; s < 8; s++ {
+		k := g.rng.Intn(n)
+		var want complex128
+		for j := 0; j < n; j++ {
+			want += orig[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j%n)/float64(n)))
+		}
+		got := complex(t.Peek(2*k), t.Peek(2*k+1))
+		if cmplx.Abs(got-want) > 1e-6*(1+cmplx.Abs(want)) {
+			panic(fmt.Sprintf("fft: X[%d] = %v, want %v", k, got, want))
+		}
+	}
+}

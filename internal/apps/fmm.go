@@ -1,0 +1,244 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// FMM models the SPLASH-2 adaptive fast multipole kernel on a 2-D
+// hierarchy of grids: particle-to-multipole, upward (M2M) passes,
+// cell-cell interactions over each cell's interaction list (M2L) — the
+// read-shared all-to-neighbour phase that dominates its communication —
+// then downward (L2L) and local evaluation (L2P). The "two cluster"
+// distribution of the paper's input concentrates bodies (and hence work
+// and sharing) in two regions. Multipole mass conservation is verified.
+func FMM(procs, nbody, clusters int) *trace.Trace {
+	g := NewGen("fmm", procs)
+	const levels = 3 // 16x16, 8x8, 4x4
+	const coeffs = 16
+	side := 16
+	// Level c arrays: multipole and local expansions per cell.
+	type level struct {
+		side int
+		mp   *F64
+		loc  *F64
+	}
+	lv := make([]level, levels)
+	for l := 0; l < levels; l++ {
+		s := side >> uint(l)
+		lv[l] = level{
+			side: s,
+			mp:   g.F64(fmt.Sprintf("multipole-l%d", l), s*s*coeffs),
+			loc:  g.F64(fmt.Sprintf("local-l%d", l), s*s*coeffs),
+		}
+	}
+	bodies := g.F64("bodies", nbody*8) // pos 2, charge 1, potential 1, pad
+
+	// Two-cluster positions: bodies concentrate around cluster centers.
+	centers := [][2]float64{{0.25, 0.25}, {0.72, 0.68}}
+	var totalCharge float64
+	for b := 0; b < nbody; b++ {
+		c := centers[b%clusters]
+		x := math.Mod(math.Abs(c[0]+g.rng.NormFloat64()*0.08), 1)
+		y := math.Mod(math.Abs(c[1]+g.rng.NormFloat64()*0.08), 1)
+		q := g.rng.Float64()
+		bodies.Write(0, b*8, x)
+		bodies.Write(0, b*8+1, y)
+		bodies.Write(0, b*8+2, q)
+		totalCharge += q
+		g.Compute(0, 12)
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	cellOf := func(x, y float64, s int) int {
+		cx, cy := int(x*float64(s)), int(y*float64(s))
+		if cx >= s {
+			cx = s - 1
+		}
+		if cy >= s {
+			cy = s - 1
+		}
+		return cy*s + cx
+	}
+	for step := 0; step < 2; step++ {
+		// P2M: owners of leaf cells aggregate their bodies. Body-to-cell
+		// assignment is recomputed by reading positions (every processor
+		// scans its body chunk, writing the shared leaf multipoles of
+		// whatever cells its bodies fall in, under cell ownership by
+		// index — two clusters make a few cells very hot).
+		s0 := lv[0].side
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(nbody, procs, p)
+			for b := lo; b < hi; b++ {
+				x := bodies.Read(p, b*8)
+				y := bodies.Read(p, b*8+1)
+				q := bodies.Read(p, b*8+2)
+				c := cellOf(x, y, s0)
+				for k := 0; k < 4; k++ {
+					v := lv[0].mp.Read(p, c*coeffs+k)
+					lv[0].mp.Write(p, c*coeffs+k, v+q*math.Pow(x+y, float64(k))/(1+float64(k)))
+					g.Compute(p, 6)
+				}
+			}
+		}
+		g.Barrier()
+		// M2M upward: each coarse cell sums its four children.
+		for l := 1; l < levels; l++ {
+			s, sc := lv[l].side, lv[l-1].side
+			for c := 0; c < s*s; c++ {
+				p := c % procs
+				cx, cy := c%s, c/s
+				for k := 0; k < 4; k++ {
+					var sum float64
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							ch := (cy*2+dy)*sc + cx*2 + dx
+							sum += lv[l-1].mp.Read(p, ch*coeffs+k)
+						}
+					}
+					lv[l].mp.Write(p, c*coeffs+k, sum)
+					g.Compute(p, 8)
+				}
+			}
+			g.Barrier()
+		}
+		// M2L: every cell reads the multipoles of its interaction list
+		// (the well-separated cells within its parent's neighbourhood).
+		for l := 0; l < levels; l++ {
+			s := lv[l].side
+			for c := 0; c < s*s; c++ {
+				p := c % procs
+				cx, cy := c%s, c/s
+				for dy := -3; dy <= 3; dy++ {
+					for dx := -3; dx <= 3; dx++ {
+						if dx >= -1 && dx <= 1 && dy >= -1 && dy <= 1 {
+							continue // near field handled at leaf level
+						}
+						nx, ny := cx+dx, cy+dy
+						if nx < 0 || ny < 0 || nx >= s || ny >= s {
+							continue
+						}
+						src := ny*s + nx
+						var acc float64
+						for k := 0; k < 4; k++ {
+							acc += lv[l].mp.Read(p, src*coeffs+k) / float64(1+dx*dx+dy*dy)
+						}
+						v := lv[l].loc.Read(p, c*coeffs)
+						lv[l].loc.Write(p, c*coeffs, v+acc)
+						g.Compute(p, 14)
+					}
+				}
+			}
+			g.Barrier()
+		}
+		// L2L downward + L2P: bodies gather their leaf cell's local
+		// expansion plus near-field neighbours.
+		for l := levels - 1; l > 0; l-- {
+			s, sc := lv[l].side, lv[l-1].side
+			for c := 0; c < s*s; c++ {
+				p := c % procs
+				cx, cy := c%s, c/s
+				v := lv[l].loc.Read(p, c*coeffs)
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						ch := (cy*2+dy)*sc + cx*2 + dx
+						w := lv[l-1].loc.Read(p, ch*coeffs)
+						lv[l-1].loc.Write(p, ch*coeffs, w+v)
+						g.Compute(p, 4)
+					}
+				}
+			}
+			g.Barrier()
+		}
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(nbody, procs, p)
+			for b := lo; b < hi; b++ {
+				x := bodies.Read(p, b*8)
+				y := bodies.Read(p, b*8+1)
+				c := cellOf(x, y, s0)
+				pot := lv[0].loc.Read(p, c*coeffs)
+				bodies.Write(p, b*8+3, pot)
+				g.Compute(p, 10)
+			}
+		}
+		g.Barrier()
+		// P2P near field: direct interactions with bodies in the same
+		// and adjacent leaf cells. The partner count per body is capped,
+		// standing in for the adaptive refinement that keeps real FMM
+		// leaves small even inside the two dense clusters.
+		cellBodies := make(map[int][]int)
+		for b := 0; b < nbody; b++ {
+			c := cellOf(bodies.Peek(b*8), bodies.Peek(b*8+1), s0)
+			cellBodies[c] = append(cellBodies[c], b)
+		}
+		const maxPartners = 8
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(nbody, procs, p)
+			for b := lo; b < hi; b++ {
+				x := bodies.Read(p, b*8)
+				y := bodies.Read(p, b*8+1)
+				c := cellOf(x, y, s0)
+				cx, cy := c%s0, c/s0
+				partners := 0
+				var acc float64
+				for dy := -1; dy <= 1 && partners < maxPartners; dy++ {
+					for dx := -1; dx <= 1 && partners < maxPartners; dx++ {
+						nx, ny := cx+dx, cy+dy
+						if nx < 0 || ny < 0 || nx >= s0 || ny >= s0 {
+							continue
+						}
+						for _, o := range cellBodies[ny*s0+nx] {
+							if o == b {
+								continue
+							}
+							ox := bodies.Read(p, o*8)
+							oy := bodies.Read(p, o*8+1)
+							oq := bodies.Read(p, o*8+2)
+							d2 := (x-ox)*(x-ox) + (y-oy)*(y-oy)
+							acc += oq / (d2 + 1e-6)
+							g.Compute(p, 12)
+							partners++
+							if partners >= maxPartners {
+								break
+							}
+						}
+					}
+				}
+				pot := bodies.Read(p, b*8+3)
+				bodies.Write(p, b*8+3, pot+acc)
+				g.Compute(p, 4)
+			}
+		}
+		g.Barrier()
+		// Clear expansions for the next step (owners, local writes).
+		for l := 0; l < levels; l++ {
+			s := lv[l].side
+			for c := 0; c < s*s; c++ {
+				p := c % procs
+				if step == 0 { // last step leaves the state for the check
+					for k := 0; k < 4; k++ {
+						lv[l].mp.Write(p, c*coeffs+k, 0)
+						lv[l].loc.Write(p, c*coeffs+k, 0)
+					}
+					g.Compute(p, 4)
+				}
+			}
+		}
+		g.Barrier()
+	}
+
+	// Self-check (untraced): coefficient 0 at the top level equals total
+	// charge weight (mass conservation through the upward pass).
+	top := lv[levels-1]
+	var rootMass float64
+	for c := 0; c < top.side*top.side; c++ {
+		rootMass += top.mp.Peek(c * coeffs)
+	}
+	if math.Abs(rootMass-totalCharge) > 1e-9*totalCharge {
+		panic(fmt.Sprintf("fmm: root multipole mass %g, want %g", rootMass, totalCharge))
+	}
+	return g.Finish()
+}

@@ -1,0 +1,202 @@
+// Package apps implements the fourteen SPLASH-2-style workload kernels
+// that drive the simulator, standing in for the SPARC SPLASH-2 binaries
+// the paper executes under SimICS. Each kernel runs its algorithm for real
+// over a simulated shared address space (sorts really sort, factorizations
+// really factor — the test suite verifies results) while recording every
+// data reference, lock and barrier per logical processor.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addrspace"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// InstrNS converts an instruction count to busy time. The paper's
+// processors issue up to 4 instructions per 4 ns cycle; dependent
+// floating-point code on an in-order 4-way machine sustains well under
+// that, so we charge 3 ns per instruction (effective IPC ~1.3).
+func InstrNS(instrs int) engine.Time { return engine.Time(3 * instrs) }
+
+// Gen is the environment a kernel generates its trace in: a shared address
+// space, per-processor reference streams, locks and a deterministic PRNG.
+type Gen struct {
+	b     *trace.Builder
+	space *addrspace.Space
+	rng   *rand.Rand
+	locks uint32
+}
+
+// NewGen creates a generation environment with a fixed seed derived from
+// the workload name, so traces are fully deterministic.
+func NewGen(name string, procs int) *Gen {
+	var seed int64 = 0x5eed
+	for _, c := range name {
+		seed = seed*131 + int64(c)
+	}
+	return &Gen{
+		b:     trace.NewBuilder(name, procs),
+		space: addrspace.New(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Procs returns the logical processor count.
+func (g *Gen) Procs() int { return g.b.Procs() }
+
+// Rng returns the deterministic PRNG for problem generation.
+func (g *Gen) Rng() *rand.Rand { return g.rng }
+
+// Compute charges instrs instructions of busy time to processor p.
+func (g *Gen) Compute(p, instrs int) { g.b.Compute(p, InstrNS(instrs)) }
+
+// Barrier emits a global barrier.
+func (g *Gen) Barrier() { g.b.Barrier() }
+
+// MeasureStart marks the start of the measured parallel section.
+func (g *Gen) MeasureStart() { g.b.MeasureStart() }
+
+// Finish validates and returns the trace; the working set is everything
+// allocated in the space.
+func (g *Gen) Finish() *trace.Trace {
+	tr := g.b.Build(g.space.Allocated())
+	if err := tr.Validate(); err != nil {
+		panic(fmt.Sprintf("apps: invalid generated trace: %v", err))
+	}
+	return tr
+}
+
+// WorkingSet reports bytes allocated so far.
+func (g *Gen) WorkingSet() uint64 { return g.space.Allocated() }
+
+// Lock is a spin lock homed on its own cache line.
+type Lock struct {
+	id   uint32
+	addr addrspace.Addr
+}
+
+// NewLock allocates a lock on a private line.
+func (g *Gen) NewLock(name string) Lock {
+	id := g.locks
+	g.locks++
+	return Lock{id: id, addr: g.space.Alloc("lock:"+name, addrspace.LineSize)}
+}
+
+// NewLocks allocates n locks. Locks share pages but not lines.
+func (g *Gen) NewLocks(name string, n int) []Lock {
+	base := g.space.Alloc("locks:"+name, uint64(n*addrspace.LineSize))
+	out := make([]Lock, n)
+	for i := range out {
+		out[i] = Lock{id: g.locks, addr: base + addrspace.Addr(i*addrspace.LineSize)}
+		g.locks++
+	}
+	return out
+}
+
+// Acquire records processor p taking lk.
+func (g *Gen) Acquire(p int, lk Lock) { g.b.Acquire(p, lk.id, lk.addr) }
+
+// Release records processor p releasing lk.
+func (g *Gen) Release(p int, lk Lock) { g.b.Release(p, lk.id, lk.addr) }
+
+// F64 is a shared array of float64 values with a real backing store, so
+// kernels compute true results while every element access is recorded.
+type F64 struct {
+	g    *Gen
+	base addrspace.Addr
+	data []float64
+}
+
+// F64 allocates a named shared float64 array.
+func (g *Gen) F64(name string, n int) *F64 {
+	return &F64{g: g, base: g.space.Alloc(name, uint64(n)*8), data: make([]float64, n)}
+}
+
+// Len returns the element count.
+func (a *F64) Len() int { return len(a.data) }
+
+// Addr returns the simulated address of element i.
+func (a *F64) Addr(i int) addrspace.Addr { return a.base + addrspace.Addr(i)*8 }
+
+// Read records a load of element i by processor p and returns the value.
+func (a *F64) Read(p, i int) float64 {
+	a.g.b.Read(p, a.Addr(i))
+	return a.data[i]
+}
+
+// Write records a store of v to element i by processor p.
+func (a *F64) Write(p, i int, v float64) {
+	a.g.b.Write(p, a.Addr(i))
+	a.data[i] = v
+}
+
+// Peek returns the value without recording a reference (verification).
+func (a *F64) Peek(i int) float64 { return a.data[i] }
+
+// Poke sets the value without recording a reference (problem setup that
+// the paper's runs would have done from files or untraced init).
+func (a *F64) Poke(i int, v float64) { a.data[i] = v }
+
+// I32 is a shared array of int32 values with a real backing store. Sixteen
+// elements share a 64-byte line, so dense integer structures exhibit the
+// same false sharing as in the original codes.
+type I32 struct {
+	g    *Gen
+	base addrspace.Addr
+	data []int32
+}
+
+// I32 allocates a named shared int32 array.
+func (g *Gen) I32(name string, n int) *I32 {
+	return &I32{g: g, base: g.space.Alloc(name, uint64(n)*4), data: make([]int32, n)}
+}
+
+// Len returns the element count.
+func (a *I32) Len() int { return len(a.data) }
+
+// Addr returns the simulated address of element i.
+func (a *I32) Addr(i int) addrspace.Addr { return a.base + addrspace.Addr(i)*4 }
+
+// Read records a load of element i by processor p and returns the value.
+func (a *I32) Read(p, i int) int32 {
+	a.g.b.Read(p, a.Addr(i))
+	return a.data[i]
+}
+
+// Write records a store of v to element i by processor p.
+func (a *I32) Write(p, i int, v int32) {
+	a.g.b.Write(p, a.Addr(i))
+	a.data[i] = v
+}
+
+// Peek returns the value without recording a reference.
+func (a *I32) Peek(i int) int32 { return a.data[i] }
+
+// Poke sets the value without recording a reference.
+func (a *I32) Poke(i int, v int32) { a.data[i] = v }
+
+// Chunk splits n items into procs contiguous chunks and returns the
+// half-open range of chunk p — the block partitioning the SPLASH codes
+// use, which gives adjacent processors adjacent data (and therefore lets
+// sequential process-to-cluster assignment exploit locality, as the paper
+// notes).
+func Chunk(n, procs, p int) (lo, hi int) {
+	per := n / procs
+	rem := n % procs
+	lo = p*per + min(p, rem)
+	hi = lo + per
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

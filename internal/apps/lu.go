@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// LU is the SPLASH-2 blocked dense LU factorization (no pivoting, on a
+// diagonally dominant matrix) with blocks 2-D-scattered over processors.
+// The contiguous variant stores each block contiguously ("enhanced
+// locality"); the non-contiguous variant uses a plain row-major array, so
+// a block's rows are strided across lines shared with neighbouring blocks
+// — the false-sharing and conflict behaviour the paper's LU-non exhibits.
+// The factorization is verified against the original matrix.
+func LU(procs, n, bs int, contiguous bool) *trace.Trace {
+	if n%bs != 0 {
+		panic(fmt.Sprintf("lu: n=%d not a multiple of block size %d", n, bs))
+	}
+	name := "lu-n"
+	if contiguous {
+		name = "lu-c"
+	}
+	g := NewGen(name, procs)
+	a := g.F64("matrix", n*n)
+	nb := n / bs
+
+	// Element index for (i,j) depends on the layout under study.
+	idx := func(i, j int) int { return i*n + j } // row-major
+	if contiguous {
+		idx = func(i, j int) int { // block-major: each block contiguous
+			bi, bj := i/bs, j/bs
+			return (bi*nb+bj)*bs*bs + (i%bs)*bs + (j % bs)
+		}
+	}
+	// 2-D scatter ownership, as in the original.
+	pr := 1
+	for pr*pr < procs {
+		pr++
+	}
+	if pr*pr != procs {
+		pr = procs // fall back to 1-D for non-square counts
+	}
+	pc := procs / pr
+	owner := func(bi, bj int) int { return (bi%pr)*pc + (bj % pc) }
+
+	// Init by processor 0: random dense matrix made diagonally dominant.
+	orig := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := g.rng.Float64() - 0.5
+			if i == j {
+				v += float64(n)
+			}
+			orig[i*n+j] = v
+			a.Write(0, idx(i, j), v)
+			g.Compute(0, 2)
+		}
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	for k := 0; k < nb; k++ {
+		d := k * bs
+		// Factor the diagonal block (its owner, serial).
+		p := owner(k, k)
+		for c := 0; c < bs; c++ {
+			piv := a.Read(p, idx(d+c, d+c))
+			for r := c + 1; r < bs; r++ {
+				l := a.Read(p, idx(d+r, d+c)) / piv
+				a.Write(p, idx(d+r, d+c), l)
+				for cc := c + 1; cc < bs; cc++ {
+					v := a.Read(p, idx(d+r, d+cc)) - l*a.Read(p, idx(d+c, d+cc))
+					a.Write(p, idx(d+r, d+cc), v)
+					g.Compute(p, 4)
+				}
+			}
+		}
+		g.Barrier()
+		// Perimeter blocks: triangular solves against the diagonal block.
+		for bj := k + 1; bj < nb; bj++ { // U row: solve L11 * U = A
+			p := owner(k, bj)
+			col := bj * bs
+			for c := 0; c < bs; c++ {
+				for r := 1; r < bs; r++ {
+					var s float64
+					for t := 0; t < r; t++ {
+						s += a.Read(p, idx(d+r, d+t)) * a.Read(p, idx(d+t, col+c))
+						g.Compute(p, 2)
+					}
+					v := a.Read(p, idx(d+r, col+c)) - s
+					a.Write(p, idx(d+r, col+c), v)
+				}
+			}
+		}
+		for bi := k + 1; bi < nb; bi++ { // L column: solve L * U11 = A
+			p := owner(bi, k)
+			row := bi * bs
+			for r := 0; r < bs; r++ {
+				for c := 0; c < bs; c++ {
+					var s float64
+					for t := 0; t < c; t++ {
+						s += a.Read(p, idx(row+r, d+t)) * a.Read(p, idx(d+t, d+c))
+						g.Compute(p, 2)
+					}
+					v := (a.Read(p, idx(row+r, d+c)) - s) / a.Read(p, idx(d+c, d+c))
+					a.Write(p, idx(row+r, d+c), v)
+				}
+			}
+		}
+		g.Barrier()
+		// Interior updates: A[bi][bj] -= L[bi][k] * U[k][bj]; perimeter
+		// blocks are read-shared by every interior owner.
+		for bi := k + 1; bi < nb; bi++ {
+			for bj := k + 1; bj < nb; bj++ {
+				p := owner(bi, bj)
+				row, col := bi*bs, bj*bs
+				for r := 0; r < bs; r++ {
+					for c := 0; c < bs; c++ {
+						var s float64
+						for t := 0; t < bs; t++ {
+							s += a.Read(p, idx(row+r, d+t)) * a.Read(p, idx(d+t, col+c))
+						}
+						g.Compute(p, 2*bs)
+						v := a.Read(p, idx(row+r, col+c)) - s
+						a.Write(p, idx(row+r, col+c), v)
+					}
+				}
+			}
+		}
+		g.Barrier()
+	}
+
+	luSelfCheck(g, a, orig, n, idx)
+	return g.Finish()
+}
+
+// luSelfCheck verifies (L*U)[i][j] == orig[i][j] on sampled entries.
+func luSelfCheck(g *Gen, a *F64, orig []float64, n int, idx func(i, j int) int) {
+	for s := 0; s < 16; s++ {
+		i, j := g.rng.Intn(n), g.rng.Intn(n)
+		var v float64
+		for t := 0; t <= min(i, j); t++ {
+			l := a.Peek(idx(i, t))
+			if t == i {
+				l = 1
+			}
+			v += l * a.Peek(idx(t, j))
+		}
+		if math.Abs(v-orig[i*n+j]) > 1e-6*(1+math.Abs(orig[i*n+j])) {
+			panic(fmt.Sprintf("lu: (LU)[%d][%d] = %g, want %g", i, j, v, orig[i*n+j]))
+		}
+	}
+}

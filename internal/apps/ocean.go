@@ -1,0 +1,263 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Ocean is the SPLASH-2 ocean-current simulation kernel: a set of n-by-n
+// grids updated by 5-point stencils and a red-black SOR solver, with the
+// grid partitioned into square per-processor subgrids. The contiguous
+// variant ("enhanced locality") lays each subgrid out contiguously so
+// border sharing happens only at true partition boundaries; the
+// non-contiguous variant uses plain row-major 2-D arrays, whose strided
+// subgrid rows share lines across partitions. Residual reduction is
+// verified at generation time.
+func Ocean(procs, n int, contiguous bool) *trace.Trace {
+	name := "ocean-n"
+	if contiguous {
+		name = "ocean-c"
+	}
+	g := NewGen(name, procs)
+
+	// Square processor grid (falls back to 1-D strips if procs is not a
+	// perfect square).
+	ps := 1
+	for ps*ps < procs {
+		ps++
+	}
+	if ps*ps != procs {
+		ps = 1
+	}
+	pcols := procs / ps
+	if n%ps != 0 || n%pcols != 0 {
+		panic(fmt.Sprintf("ocean: n=%d not divisible by processor grid %dx%d", n, ps, pcols))
+	}
+	th, tw := n/ps, n/pcols // tile height/width
+
+	idx := func(i, j int) int { return i*n + j }
+	if contiguous {
+		idx = func(i, j int) int {
+			ti, tj := i/th, j/tw
+			return (ti*pcols+tj)*(th*tw) + (i%th)*tw + (j % tw)
+		}
+	}
+	ownerOf := func(i, j int) int { return (i/th)*pcols + j/tw }
+	_ = ownerOf
+
+	psi := g.F64("psi", n*n)
+	rhs := g.F64("rhs", n*n)
+	vort := g.F64("vort", n*n)
+	tmp := g.F64("tmp", n*n)
+	q := g.F64("q", n*n)
+	hz := g.F64("hz", n*n)
+	// Multigrid scratch: residual on the fine grid and the coarse-grid
+	// correction (the original Ocean's solver is a full multigrid; we
+	// run a two-grid V-cycle between the SOR sweeps).
+	nc := n / 2
+	resid := g.F64("residual", n*n)
+	coarse := g.F64("coarse", nc*nc)
+	redLock := g.NewLock("global-err")
+	errSum := g.F64("err-sum", 8) // one shared accumulator line
+
+	// Initialization: processor 0 fills the fields.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			psi.Write(0, idx(i, j), math.Sin(float64(i))*math.Cos(float64(j)))
+			rhs.Write(0, idx(i, j), 0)
+			q.Write(0, idx(i, j), g.rng.Float64())
+			hz.Write(0, idx(i, j), 1+0.1*g.rng.Float64())
+			g.Compute(0, 6)
+		}
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	// Per-processor tile bounds (interior only).
+	tile := func(p int) (ilo, ihi, jlo, jhi int) {
+		ti, tj := p/pcols, p%pcols
+		ilo, ihi = ti*th, (ti+1)*th
+		jlo, jhi = tj*tw, (tj+1)*tw
+		if ilo == 0 {
+			ilo = 1
+		}
+		if jlo == 0 {
+			jlo = 1
+		}
+		if ihi == n {
+			ihi = n - 1
+		}
+		if jhi == n {
+			jhi = n - 1
+		}
+		return
+	}
+	stencil := func(p int, a *F64, i, j int) float64 {
+		return a.Read(p, idx(i-1, j)) + a.Read(p, idx(i+1, j)) +
+			a.Read(p, idx(i, j-1)) + a.Read(p, idx(i, j+1))
+	}
+	residual := func() float64 { // untraced verification helper
+		var r float64
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				lap := psi.Peek(idx(i-1, j)) + psi.Peek(idx(i+1, j)) +
+					psi.Peek(idx(i, j-1)) + psi.Peek(idx(i, j+1)) - 4*psi.Peek(idx(i, j))
+				d := lap - rhs.Peek(idx(i, j))
+				r += d * d
+			}
+		}
+		return r
+	}
+
+	const steps, sweeps = 2, 3
+	var firstResidual float64
+	for step := 0; step < steps; step++ {
+		// Phase 1: source term from the q and hz fields (stencil reads,
+		// local writes).
+		for p := 0; p < procs; p++ {
+			ilo, ihi, jlo, jhi := tile(p)
+			for i := ilo; i < ihi; i++ {
+				for j := jlo; j < jhi; j++ {
+					v := 0.05*stencil(p, q, i, j)*hz.Read(p, idx(i, j)) - 0.2*q.Read(p, idx(i, j))
+					rhs.Write(p, idx(i, j), v)
+					g.Compute(p, 8)
+				}
+			}
+		}
+		g.Barrier()
+		if step == 0 {
+			firstResidual = residual()
+		}
+		// Phase 2: red-black SOR on psi (borders read from neighbours).
+		for s := 0; s < sweeps; s++ {
+			for color := 0; color < 2; color++ {
+				for p := 0; p < procs; p++ {
+					ilo, ihi, jlo, jhi := tile(p)
+					for i := ilo; i < ihi; i++ {
+						for j := jlo; j < jhi; j++ {
+							if (i+j)%2 != color {
+								continue
+							}
+							v := 0.25 * (stencil(p, psi, i, j) - rhs.Read(p, idx(i, j)))
+							psi.Write(p, idx(i, j), v)
+							g.Compute(p, 7)
+						}
+					}
+				}
+				g.Barrier()
+			}
+		}
+		// Phase 2b: two-grid V-cycle, as in the original's multigrid
+		// solver — compute the fine-grid residual, restrict it, smooth
+		// the error equation on the coarse grid, prolongate the
+		// correction back, then one post-smoothing sweep.
+		for p := 0; p < procs; p++ {
+			ilo, ihi, jlo, jhi := tile(p)
+			for i := ilo; i < ihi; i++ {
+				for j := jlo; j < jhi; j++ {
+					v := stencil(p, psi, i, j) - 4*psi.Read(p, idx(i, j)) - rhs.Read(p, idx(i, j))
+					resid.Write(p, i*n+j, v)
+					g.Compute(p, 8)
+				}
+			}
+		}
+		g.Barrier()
+		for p := 0; p < procs; p++ { // restriction by injection
+			clo, chi := Chunk(nc, procs, p)
+			for ci := clo; ci < chi; ci++ {
+				for cj := 0; cj < nc; cj++ {
+					v := 0.0
+					if ci > 0 && cj > 0 && 2*ci < n-1 && 2*cj < n-1 {
+						v = resid.Read(p, (2*ci)*n+2*cj)
+					}
+					coarse.Write(p, ci*nc+cj, v)
+					g.Compute(p, 3)
+				}
+			}
+		}
+		g.Barrier()
+		// Coarse-grid smoothing of lap(e) = -r, reusing the residual
+		// values stored in coarse as the source and relaxing in place
+		// against a zero initial error (two Jacobi-style passes over a
+		// scratch copy held in vort's unused border... kept simple: the
+		// source is re-read from resid on the fine grid points).
+		for it := 0; it < 3; it++ {
+			for p := 0; p < procs; p++ {
+				clo, chi := Chunk(nc, procs, p)
+				for ci := clo; ci < chi; ci++ {
+					if ci == 0 || ci >= nc-1 {
+						continue
+					}
+					for cj := 1; cj < nc-1; cj++ {
+						var r float64
+						if 2*ci < n-1 && 2*cj < n-1 {
+							r = resid.Read(p, (2*ci)*n+2*cj)
+						}
+						e := 0.25 * (coarse.Read(p, (ci-1)*nc+cj) +
+							coarse.Read(p, (ci+1)*nc+cj) +
+							coarse.Read(p, ci*nc+cj-1) +
+							coarse.Read(p, ci*nc+cj+1) + r)
+						coarse.Write(p, ci*nc+cj, e)
+						g.Compute(p, 9)
+					}
+				}
+			}
+			g.Barrier()
+		}
+		// Prolongation (piecewise constant) + post-smoothing sweep.
+		for p := 0; p < procs; p++ {
+			ilo, ihi, jlo, jhi := tile(p)
+			for i := ilo; i < ihi; i++ {
+				for j := jlo; j < jhi; j++ {
+					e := coarse.Read(p, (i/2)*nc+j/2)
+					psi.Write(p, idx(i, j), psi.Read(p, idx(i, j))+e)
+					g.Compute(p, 4)
+				}
+			}
+		}
+		g.Barrier()
+		for color := 0; color < 2; color++ {
+			for p := 0; p < procs; p++ {
+				ilo, ihi, jlo, jhi := tile(p)
+				for i := ilo; i < ihi; i++ {
+					for j := jlo; j < jhi; j++ {
+						if (i+j)%2 != color {
+							continue
+						}
+						v := 0.25 * (stencil(p, psi, i, j) - rhs.Read(p, idx(i, j)))
+						psi.Write(p, idx(i, j), v)
+						g.Compute(p, 7)
+					}
+				}
+			}
+			g.Barrier()
+		}
+		// Phase 3: vorticity update + lock-protected global reduction.
+		for p := 0; p < procs; p++ {
+			ilo, ihi, jlo, jhi := tile(p)
+			var local float64
+			for i := ilo; i < ihi; i++ {
+				for j := jlo; j < jhi; j++ {
+					v := stencil(p, psi, i, j) - 4*psi.Read(p, idx(i, j))
+					vort.Write(p, idx(i, j), v)
+					tmp.Write(p, idx(i, j), v*0.5)
+					local += v * v
+					g.Compute(p, 9)
+				}
+			}
+			g.Acquire(p, redLock)
+			errSum.Write(p, 0, errSum.Read(p, 0)+local)
+			g.Release(p, redLock)
+			g.Compute(p, 4)
+		}
+		g.Barrier()
+	}
+
+	// Self-check (untraced): SOR reduced the residual.
+	if r := residual(); !(r < firstResidual) || math.IsNaN(r) {
+		panic(fmt.Sprintf("ocean: residual did not decrease (%g -> %g)", firstResidual, r))
+	}
+	return g.Finish()
+}

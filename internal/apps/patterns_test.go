@@ -1,0 +1,201 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/trace"
+)
+
+// measured returns only the references inside the measured section of one
+// processor's stream.
+func measured(st []trace.Ref) []trace.Ref {
+	for i, r := range st {
+		if r.Kind == trace.MeasureStart {
+			return st[i+1:]
+		}
+	}
+	return nil
+}
+
+// writersByLine maps each line to the bitmask of processors that write it
+// in the measured section.
+func writersByLine(tr *trace.Trace) map[addrspace.Line]uint32 {
+	w := make(map[addrspace.Line]uint32)
+	for p := range tr.Streams {
+		for _, r := range measured(tr.Streams[p]) {
+			if r.Kind == trace.Write {
+				w[addrspace.LineOf(r.Addr)] |= 1 << uint(p)
+			}
+		}
+	}
+	return w
+}
+
+// readersOfOthersWrites counts, per processor, how many distinct lines it
+// reads that some *other* processor wrote — the communication degree.
+func readersOfOthersWrites(tr *trace.Trace) []int {
+	writers := writersByLine(tr)
+	out := make([]int, tr.Procs)
+	for p := range tr.Streams {
+		seen := map[addrspace.Line]bool{}
+		for _, r := range measured(tr.Streams[p]) {
+			if r.Kind != trace.Read {
+				continue
+			}
+			l := addrspace.LineOf(r.Addr)
+			if seen[l] {
+				continue
+			}
+			if w := writers[l]; w&^(1<<uint(p)) != 0 {
+				seen[l] = true
+			}
+		}
+		out[p] = len(seen)
+	}
+	return out
+}
+
+// FFT's transposes are all-to-all: every processor reads lines written by
+// many other processors.
+func TestFFTAllToAll(t *testing.T) {
+	tr := FFT(16, 1024)
+	comm := readersOfOthersWrites(tr)
+	for p, n := range comm {
+		if n < 16 {
+			t.Fatalf("proc %d communicates over only %d lines — no all-to-all", p, n)
+		}
+	}
+}
+
+// Radix's permutation scatters every processor's writes across most of
+// the destination array: writes from one processor span many pages.
+func TestRadixScatteredWrites(t *testing.T) {
+	tr := Radix(16, 4096, 64)
+	for p := 0; p < tr.Procs; p++ {
+		pages := map[uint64]bool{}
+		for _, r := range measured(tr.Streams[p]) {
+			if r.Kind == trace.Write {
+				pages[addrspace.LineOf(r.Addr).Page()] = true
+			}
+		}
+		if len(pages) < 4 {
+			t.Fatalf("proc %d writes only %d pages — permutation not scattered", p, len(pages))
+		}
+	}
+}
+
+// Every stream's lock operations are balanced and properly paired: each
+// release matches the processor's most recent unreleased acquire.
+func TestLockPairingAllApps(t *testing.T) {
+	for _, app := range []string{"water-n2", "water-sp", "radiosity", "barnes", "volrend", "raytrace", "ocean-c", "cholesky"} {
+		a, err := ByName(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := a.Generate(16)
+		for p := 0; p < tr.Procs; p++ {
+			var stack []uint32
+			for i, r := range tr.Streams[p] {
+				switch r.Kind {
+				case trace.Acquire:
+					stack = append(stack, r.ID)
+				case trace.Release:
+					if len(stack) == 0 {
+						t.Fatalf("%s proc %d ref %d: release without acquire", app, p, i)
+					}
+					if stack[len(stack)-1] != r.ID {
+						t.Fatalf("%s proc %d ref %d: release %d, holds %d (not LIFO)",
+							app, p, i, r.ID, stack[len(stack)-1])
+					}
+					stack = stack[:len(stack)-1]
+				}
+			}
+			if len(stack) != 0 {
+				t.Fatalf("%s proc %d: %d unreleased locks", app, p, len(stack))
+			}
+		}
+	}
+}
+
+// The contiguous and non-contiguous variants differ only in layout: same
+// operation counts, (largely) different addresses.
+func TestLayoutVariantsSameWork(t *testing.T) {
+	for _, pair := range [][2]*trace.Trace{
+		{LU(16, 64, 16, true), LU(16, 64, 16, false)},
+		{Ocean(16, 64, true), Ocean(16, 64, false)},
+	} {
+		c, n := pair[0].Summarize(), pair[1].Summarize()
+		if c.Reads != n.Reads || c.Writes != n.Writes || c.Barriers != n.Barriers {
+			t.Fatalf("layout variants diverge in work: %+v vs %+v", c, n)
+		}
+	}
+}
+
+// Water-spatial has bounded communication (cutoff): each processor reads
+// from strictly fewer other-processor lines than in the all-pairs code at
+// the same molecule count.
+func TestWaterSpatialLocality(t *testing.T) {
+	n2 := WaterN2(16, 128, 1)
+	sp := WaterSp(16, 128, 1)
+	cn2 := readersOfOthersWrites(n2)
+	csp := readersOfOthersWrites(sp)
+	var sumN2, sumSp int
+	for p := range cn2 {
+		sumN2 += cn2[p]
+		sumSp += csp[p]
+	}
+	if sumSp >= sumN2 {
+		t.Fatalf("spatial water communicates more than n^2 (%d vs %d)", sumSp, sumN2)
+	}
+}
+
+// Barnes' tree is read-shared: during the force phase, tree cell lines
+// are read by many processors.
+func TestBarnesReadSharedTree(t *testing.T) {
+	tr := Barnes(16, 256, 1)
+	readers := map[addrspace.Line]uint32{}
+	for p := range tr.Streams {
+		for _, r := range measured(tr.Streams[p]) {
+			if r.Kind == trace.Read {
+				readers[addrspace.LineOf(r.Addr)] |= 1 << uint(p)
+			}
+		}
+	}
+	wide := 0
+	for _, mask := range readers {
+		n := 0
+		for m := mask; m != 0; m &= m - 1 {
+			n++
+		}
+		if n >= 12 {
+			wide++
+		}
+	}
+	if wide < 16 {
+		t.Fatalf("only %d lines are read by 12+ processors — tree not read-shared", wide)
+	}
+}
+
+// Private per-processor buffers really are private: water's force
+// accumulators are touched by exactly one processor.
+func TestWaterPrivateAccumulators(t *testing.T) {
+	tr := WaterN2(8, 64, 1)
+	touched := map[uint64]uint32{} // page -> proc mask
+	for p := range tr.Streams {
+		for _, r := range tr.Streams[p] {
+			if r.Kind == trace.Read || r.Kind == trace.Write {
+				touched[addrspace.LineOf(r.Addr).Page()] |= 1 << uint(p)
+			}
+		}
+	}
+	private := 0
+	for _, mask := range touched {
+		if mask&(mask-1) == 0 {
+			private++
+		}
+	}
+	if private < 8 {
+		t.Fatalf("only %d private pages — per-processor accumulators are not private", private)
+	}
+}

@@ -1,0 +1,174 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Radiosity models the SPLASH-2 hierarchical radiosity kernel: patches
+// with geometry and radiosity records, processed from per-processor task
+// queues with stealing; each task gathers light from a set of interacting
+// patches (visibility/form-factor reads scattered across the shared patch
+// array), updates its patch, and may spawn refinement tasks. The pattern —
+// irregular pointer-driven reads plus lock-protected queues — puts
+// radiosity in the paper's conflict-sensitive group. Energy growth is
+// verified.
+func Radiosity(procs, patches int) *trace.Trace {
+	const stride = 32 // 256 B per patch: geometry + radiosity record
+	g := NewGen("radiosity", procs)
+	pat := g.F64("patches", patches*stride)
+	// Per-processor task queues: a shared ring of task ids plus head/tail
+	// counters, each protected by a lock (stealing reads others' queues).
+	qcap := patches
+	queue := g.I32("task-queue", procs*qcap)
+	qhead := g.I32("queue-head", procs*16) // one counter per line
+	qtail := g.I32("queue-tail", procs*16)
+	qlocks := g.NewLocks("queue", procs)
+
+	// Interaction lists (generator-side; the original builds them during
+	// the untimed BF-refinement setup): each patch interacts with a
+	// local cluster plus a few far patches.
+	inter := make([][]int, patches)
+	for i := range inter {
+		m := 8 + g.rng.Intn(8)
+		inter[i] = make([]int, m)
+		for k := range inter[i] {
+			if k%3 == 0 {
+				inter[i][k] = g.rng.Intn(patches) // far interaction
+			} else {
+				inter[i][k] = (i + 1 + g.rng.Intn(32)) % patches // nearby
+			}
+		}
+	}
+	// Init: processor 0 writes patch geometry and seeds emitters.
+	for i := 0; i < patches; i++ {
+		for f := 0; f < 12; f++ {
+			pat.Write(0, i*stride+f, g.rng.Float64())
+		}
+		e := 0.0
+		if i%64 == 0 {
+			e = 10 // light sources
+		}
+		pat.Write(0, i*stride+12, e) // radiosity
+		pat.Write(0, i*stride+13, e) // unshot energy
+		g.Compute(0, 16)
+	}
+	// Seed the queues: patches dealt round-robin.
+	for i := 0; i < patches; i++ {
+		p := i % procs
+		t := int(qtail.Peek(p * 16))
+		queue.Write(0, p*qcap+t, int32(i))
+		qtail.Write(0, p*16, int32(t+1))
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	// Two gathering iterations over every patch, task-queue driven with
+	// round-robin stealing. The generator interleaves processors task by
+	// task so queue contention is realistic.
+	for round := 0; round < 2; round++ {
+		active := procs
+		idle := make([]bool, procs)
+		for active > 0 {
+			for p := 0; p < procs; p++ {
+				if idle[p] {
+					continue
+				}
+				task := radiosityPop(g, p, p, queue, qhead, qtail, qlocks, qcap)
+				if task < 0 {
+					// Steal from the next non-empty victim.
+					stolen := -1
+					for d := 1; d < procs; d++ {
+						v := (p + d) % procs
+						stolen = radiosityPop(g, p, v, queue, qhead, qtail, qlocks, qcap)
+						if stolen >= 0 {
+							break
+						}
+					}
+					if stolen < 0 {
+						idle[p] = true
+						active--
+						continue
+					}
+					task = stolen
+				}
+				radiosityGather(g, p, task, pat, inter, stride)
+			}
+		}
+		// Refill for the next round and reset counters.
+		g.Barrier()
+		if round == 0 {
+			for i := 0; i < patches; i++ {
+				p := i % procs
+				t := int(qtail.Read(p, p*16))
+				queue.Write(p, p*qcap+(t%qcap), int32(i))
+				qtail.Write(p, p*16, int32(t+1))
+			}
+		}
+		g.Barrier()
+	}
+
+	// Self-check (untraced): gathering distributed energy beyond the
+	// emitters.
+	var total float64
+	lit := 0
+	for i := 0; i < patches; i++ {
+		r := pat.Peek(i*stride + 12)
+		if math.IsNaN(r) {
+			panic("radiosity: NaN radiosity")
+		}
+		total += r
+		if r > 0 {
+			lit++
+		}
+	}
+	if lit < patches/2 {
+		panic(fmt.Sprintf("radiosity: only %d/%d patches lit", lit, patches))
+	}
+	return g.Finish()
+}
+
+// radiosityPop pops a task from victim v's queue on behalf of processor p;
+// returns -1 when empty.
+func radiosityPop(g *Gen, p, v int, queue, qhead, qtail *I32, qlocks []Lock, qcap int) int {
+	g.Acquire(p, qlocks[v])
+	h := qhead.Read(p, v*16)
+	t := qtail.Read(p, v*16)
+	if h >= t {
+		g.Release(p, qlocks[v])
+		return -1
+	}
+	task := queue.Read(p, v*qcap+int(h)%qcap)
+	qhead.Write(p, v*16, h+1)
+	g.Release(p, qlocks[v])
+	g.Compute(p, 6)
+	return int(task)
+}
+
+// radiosityGather performs one gathering task: read the interacting
+// patches' records, compute form factors, update this patch.
+func radiosityGather(g *Gen, p, i int, pat *F64, inter [][]int, stride int) {
+	// Own geometry.
+	var area float64
+	for f := 0; f < 6; f++ {
+		area += pat.Read(p, i*stride+f)
+	}
+	var gathered float64
+	for _, j := range inter[i] {
+		// Form factor: read the other patch's geometry and unshot energy.
+		var ff float64
+		for f := 0; f < 4; f++ {
+			ff += pat.Read(p, j*stride+f)
+		}
+		ff = 1 / (1 + ff*ff)
+		e := pat.Read(p, j*stride+13)
+		gathered += ff * e * 0.1
+		g.Compute(p, 25)
+	}
+	r := pat.Read(p, i*stride+12)
+	pat.Write(p, i*stride+12, r+gathered)
+	pat.Write(p, i*stride+13, gathered)
+	g.Compute(p, 10)
+}

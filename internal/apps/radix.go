@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Radix is the SPLASH-2 integer radix sort: per-digit passes of local
+// histogramming, a prefix-sum over all processors' histograms, and a
+// permutation phase that scatters keys across the whole destination array
+// — the classic all-to-all write pattern that makes Radix the most
+// bandwidth-hungry and node-contention-bound application in the paper.
+// Sortedness is verified at generation time.
+func Radix(procs, keys, radix int) *trace.Trace {
+	if radix&(radix-1) != 0 {
+		panic(fmt.Sprintf("radix: radix %d not a power of two", radix))
+	}
+	g := NewGen("radix", procs)
+	src := g.I32("keys0", keys)
+	dst := g.I32("keys1", keys)
+	// Global histogram/rank area: procs*radix counters, processor-major,
+	// densely packed (16 counters per line, as in the original, which is
+	// where its false sharing comes from).
+	hist := g.I32("hist", procs*radix)
+	rank := g.I32("rank", procs*radix)
+	total := g.I32("digit-total", radix)
+	base := g.I32("digit-base", radix)
+
+	maxKey := radix * radix // two digit passes cover the key range
+	for i := 0; i < keys; i++ {
+		src.Write(0, i, int32(g.rng.Intn(maxKey)))
+		g.Compute(0, 3)
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	shift := uint(0)
+	for pass := 0; pass < 2; pass++ {
+		// Phase 1: local histogram of each processor's key chunk.
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(keys, procs, p)
+			for i := lo; i < hi; i++ {
+				d := int(src.Read(p, i)>>shift) & (radix - 1)
+				c := hist.Read(p, p*radix+d)
+				hist.Write(p, p*radix+d, c+1)
+				g.Compute(p, 5)
+			}
+		}
+		g.Barrier()
+		// Phase 2: global prefix over (digit, proc) — each processor
+		// ranks a slice of digits, reading every other processor's
+		// histogram counters (all-to-all reads).
+		for p := 0; p < procs; p++ {
+			dlo, dhi := Chunk(radix, procs, p)
+			for d := dlo; d < dhi; d++ {
+				var sum int32
+				for q := 0; q < procs; q++ {
+					rank.Write(p, q*radix+d, sum)
+					sum += hist.Read(p, q*radix+d)
+					g.Compute(p, 4)
+				}
+				total.Write(p, d, sum)
+			}
+		}
+		g.Barrier()
+		// Phase 2b: processor 0 turns per-digit totals into global digit
+		// bases (short serial section, as in the original tree root).
+		var acc int32
+		for d := 0; d < radix; d++ {
+			base.Write(0, d, acc)
+			acc += total.Read(0, d)
+			g.Compute(0, 2)
+		}
+		g.Barrier()
+		// Phase 3: permutation — every processor scatters its keys to
+		// their ranked positions in the destination array, bumping its
+		// rank counter in place.
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(keys, procs, p)
+			for i := lo; i < hi; i++ {
+				k := src.Read(p, i)
+				d := int(k>>shift) & (radix - 1)
+				r := rank.Read(p, p*radix+d)
+				rank.Write(p, p*radix+d, r+1)
+				pos := base.Read(p, d) + r
+				dst.Write(p, int(pos), k)
+				g.Compute(p, 6)
+			}
+			// Clear this processor's histogram for the next pass.
+			for d := 0; d < radix; d++ {
+				hist.Write(p, p*radix+d, 0)
+			}
+		}
+		g.Barrier()
+		src, dst = dst, src
+		shift += uint(log2(radix))
+	}
+
+	// Self-check (untraced): the final array is sorted.
+	for i := 1; i < keys; i++ {
+		if src.Peek(i-1) > src.Peek(i) {
+			panic(fmt.Sprintf("radix: not sorted at %d: %d > %d", i, src.Peek(i-1), src.Peek(i)))
+		}
+	}
+	return g.Finish()
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}

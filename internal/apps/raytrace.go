@@ -1,0 +1,217 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Raytrace models the SPLASH-2 hierarchical ray tracer: a read-only scene
+// (triangles plus a bounding-volume hierarchy) shared by everyone, image
+// tiles dispatched from lock-protected work queues with stealing, and per
+// ray an irregular pointer-chasing walk of the BVH. The big read-mostly
+// scene replicates freely at low memory pressure and thrashes when
+// replication space runs out — the paper's Figure 4 behaviour. The
+// rendered image is verified to contain hits.
+func Raytrace(procs, tris, imgSide int) *trace.Trace {
+	const triStride = 10 // 9 vertex doubles + shade
+	const nodeStride = 8 // bbox (6) + meta
+	g := NewGen("raytrace", procs)
+	tri := g.F64("triangles", tris*triStride)
+	// BVH as implicit arrays: node bounding boxes, child indices and
+	// leaf triangle ranges.
+	maxNodes := 2 * tris
+	nbox := g.F64("bvh-boxes", maxNodes*nodeStride)
+	nmeta := g.I32("bvh-meta", maxNodes*4) // left, right, triLo, triHi
+	img := g.I32("image", imgSide*imgSide)
+	qcounter := g.I32("tile-counter", procs*16)
+	qlocks := g.NewLocks("tile-queue", procs)
+
+	// Build the scene (generator side), then write it via processor 0.
+	type tcent struct {
+		idx int
+		c   [3]float64
+	}
+	cent := make([]tcent, tris)
+	verts := make([][9]float64, tris)
+	for i := 0; i < tris; i++ {
+		var c [3]float64
+		for d := 0; d < 3; d++ {
+			c[d] = g.rng.Float64() * 10
+		}
+		for v := 0; v < 3; v++ {
+			for d := 0; d < 3; d++ {
+				verts[i][v*3+d] = c[d] + g.rng.NormFloat64()*0.15
+			}
+		}
+		cent[i] = tcent{idx: i, c: c}
+	}
+	// Median-split BVH over centroids (built untraced, as scene loading
+	// is untimed in the original; the *reads* during tracing are what
+	// matter).
+	type bnode struct {
+		lo, hi      int // triangle range in the sorted order
+		left, right int
+		box         [6]float64
+	}
+	var nodes []bnode
+	order := make([]int, tris)
+	var build func(lo, hi, axis int) int
+	build = func(lo, hi, axis int) int {
+		id := len(nodes)
+		nodes = append(nodes, bnode{lo: lo, hi: hi, left: -1, right: -1})
+		sort.Slice(cent[lo:hi], func(a, b int) bool {
+			return cent[lo+a].c[axis] < cent[lo+b].c[axis]
+		})
+		box := [6]float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+		for _, t := range cent[lo:hi] {
+			for d := 0; d < 3; d++ {
+				box[d] = math.Min(box[d], t.c[d]-0.3)
+				box[3+d] = math.Max(box[3+d], t.c[d]+0.3)
+			}
+		}
+		nodes[id].box = box
+		if hi-lo > 4 {
+			// Alternate x/y splits only: rays travel along z, so z
+			// splits would never separate a ray from either child.
+			mid := (lo + hi) / 2
+			l := build(lo, mid, (axis+1)%2)
+			r := build(mid, hi, (axis+1)%2)
+			nodes[id].left, nodes[id].right = l, r
+		}
+		return id
+	}
+	build(0, tris, 0)
+	for i, t := range cent {
+		order[i] = t.idx
+	}
+	// Processor 0 writes the scene into shared memory (traced init).
+	for i := 0; i < tris; i++ {
+		src := order[i]
+		for f := 0; f < 9; f++ {
+			tri.Write(0, i*triStride+f, verts[src][f])
+		}
+		tri.Write(0, i*triStride+9, g.rng.Float64())
+		g.Compute(0, 10)
+	}
+	for id, nd := range nodes {
+		for f := 0; f < 6; f++ {
+			nbox.Write(0, id*nodeStride+f, nd.box[f])
+		}
+		nmeta.Write(0, id*4+0, int32(nd.left))
+		nmeta.Write(0, id*4+1, int32(nd.right))
+		nmeta.Write(0, id*4+2, int32(nd.lo))
+		nmeta.Write(0, id*4+3, int32(nd.hi))
+		g.Compute(0, 8)
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	// Tile the image; per-processor counters dole out tiles, stealing
+	// when a processor's share is exhausted.
+	const tile = 8
+	tilesPer := (imgSide / tile) * (imgSide / tile) / procs
+	for p := 0; p < procs; p++ {
+		qcounter.Write(p, p*16, 0)
+	}
+	g.Barrier()
+
+	hits := 0
+	tileAt := func(owner, k int) int { return owner*tilesPer + k }
+	for { // round-robin the processors over tile grabs
+		progress := false
+		for p := 0; p < procs; p++ {
+			// Grab the next tile: own counter first, then steal.
+			t := -1
+			for d := 0; d < procs; d++ {
+				v := (p + d) % procs
+				g.Acquire(p, qlocks[v])
+				k := int(qcounter.Read(p, v*16))
+				if k < tilesPer {
+					qcounter.Write(p, v*16, int32(k+1))
+					t = tileAt(v, k)
+				}
+				g.Release(p, qlocks[v])
+				if t >= 0 {
+					break
+				}
+			}
+			if t < 0 {
+				continue
+			}
+			progress = true
+			hits += raytraceTile(g, p, t, imgSide, tile, tri, nbox, nmeta, img, triStride, nodeStride)
+		}
+		if !progress {
+			break
+		}
+	}
+	g.Barrier()
+
+	if hits == 0 {
+		panic("raytrace: no ray hit the scene")
+	}
+	// Self-check (untraced): every pixel was written.
+	for i := 0; i < imgSide*imgSide; i++ {
+		if img.Peek(i) < 0 {
+			panic(fmt.Sprintf("raytrace: pixel %d unwritten", i))
+		}
+	}
+	return g.Finish()
+}
+
+// raytraceTile traces one tile's rays through the BVH and writes pixels;
+// returns the number of leaf hits.
+func raytraceTile(g *Gen, p, t, imgSide, tile int, tri, nbox *F64, nmeta, img *I32, triStride, nodeStride int) int {
+	tilesX := imgSide / tile
+	tx, ty := (t%tilesX)*tile, (t/tilesX)*tile
+	hits := 0
+	for y := ty; y < ty+tile && y < imgSide; y++ {
+		for x := tx; x < tx+tile; x++ {
+			// Orthographic ray through (x, y) along +z.
+			ox := float64(x) / float64(imgSide) * 10
+			oy := float64(y) / float64(imgSide) * 10
+			shade := 0
+			stack := []int{0}
+			for len(stack) > 0 {
+				nd := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				// Slab test on x/y bounds (read 4 of the 6 extents).
+				x0 := nbox.Read(p, nd*nodeStride+0)
+				y0 := nbox.Read(p, nd*nodeStride+1)
+				x1 := nbox.Read(p, nd*nodeStride+3)
+				y1 := nbox.Read(p, nd*nodeStride+4)
+				g.Compute(p, 10)
+				if ox < x0 || ox > x1 || oy < y0 || oy > y1 {
+					continue
+				}
+				l := int(nmeta.Read(p, nd*4+0))
+				r := int(nmeta.Read(p, nd*4+1))
+				if l >= 0 {
+					stack = append(stack, l, r)
+					continue
+				}
+				lo := int(nmeta.Read(p, nd*4+2))
+				hi := int(nmeta.Read(p, nd*4+3))
+				for ti := lo; ti < hi; ti++ {
+					// Cheap point-in-triangle-projection test.
+					ax := tri.Read(p, ti*triStride+0)
+					ay := tri.Read(p, ti*triStride+1)
+					bx := tri.Read(p, ti*triStride+3)
+					by := tri.Read(p, ti*triStride+4)
+					g.Compute(p, 16)
+					if math.Abs(ox-(ax+bx)/2) < 0.3 && math.Abs(oy-(ay+by)/2) < 0.3 {
+						s := tri.Read(p, ti*triStride+9)
+						shade += int(s*255) + 1
+						hits++
+					}
+				}
+			}
+			img.Write(p, y*imgSide+x, int32(shade))
+			g.Compute(p, 8)
+		}
+	}
+	return hits
+}

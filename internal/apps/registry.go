@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// TrafficGroup says which traffic figure an application belongs to in the
+// paper: Figure 3 collects the eight applications where clustering reduces
+// traffic consistently; Figure 4 the six that become conflict-miss bound
+// at 87% memory pressure.
+type TrafficGroup int
+
+// Traffic figure groups.
+const (
+	GroupFig3 TrafficGroup = 3
+	GroupFig4 TrafficGroup = 4
+)
+
+// App describes one workload kernel.
+type App struct {
+	// Name is the short identifier (e.g. "lu-c").
+	Name string
+	// Title is the Table 1 description.
+	Title string
+	// PaperProblem and PaperWS reproduce Table 1's problem column and
+	// working-set (MB) for the original inputs.
+	PaperProblem string
+	PaperWS      float64
+	// Problem describes our scaled input.
+	Problem string
+	// Group assigns the paper's traffic figure.
+	Group TrafficGroup
+	// Generate builds the reference trace for the given processor count.
+	Generate func(procs int) *trace.Trace
+}
+
+// Registry lists the fourteen applications in Table 1 order.
+var Registry = []App{
+	{
+		Name: "barnes", Title: "N-body (Barnes-Hut)",
+		PaperProblem: "16 K particles", PaperWS: 3.5,
+		Problem: "512 bodies, 2 steps", Group: GroupFig4,
+		Generate: func(p int) *trace.Trace { return Barnes(p, 512, 2) },
+	},
+	{
+		Name: "cholesky", Title: "Sparse matrix factorization",
+		PaperProblem: "tk29.O", PaperWS: 40.5,
+		Problem: "n=384 banded sparse", Group: GroupFig3,
+		Generate: func(p int) *trace.Trace { return Cholesky(p, 384) },
+	},
+	{
+		Name: "fft", Title: "1-dim. six-step FFT",
+		PaperProblem: "1 M data points", PaperWS: 50,
+		Problem: "4096 points", Group: GroupFig3,
+		Generate: func(p int) *trace.Trace { return FFT(p, 4096) },
+	},
+	{
+		Name: "fmm", Title: "N-body (fast multipole)",
+		PaperProblem: "two cluster, 32 K particles", PaperWS: 29,
+		Problem: "1024 bodies, two clusters", Group: GroupFig4,
+		Generate: func(p int) *trace.Trace { return FMM(p, 1024, 2) },
+	},
+	{
+		Name: "lu-c", Title: "Blocked LU, enhanced locality",
+		PaperProblem: "512x512, 16x16 blocks", PaperWS: 2.1,
+		Problem: "96x96, 16x16 blocks", Group: GroupFig4,
+		Generate: func(p int) *trace.Trace { return LU(p, 96, 16, true) },
+	},
+	{
+		Name: "lu-n", Title: "Blocked LU factorization",
+		PaperProblem: "512x512, 16x16 blocks", PaperWS: 2.1,
+		Problem: "96x96, 16x16 blocks", Group: GroupFig3,
+		Generate: func(p int) *trace.Trace { return LU(p, 96, 16, false) },
+	},
+	{
+		Name: "ocean-c", Title: "Ocean simulation, enhanced locality",
+		PaperProblem: "258x258 grid", PaperWS: 14.3,
+		Problem: "96x96 grid", Group: GroupFig3,
+		Generate: func(p int) *trace.Trace { return Ocean(p, 96, true) },
+	},
+	{
+		Name: "ocean-n", Title: "Ocean simulation",
+		PaperProblem: "258x258 grid", PaperWS: 14.3,
+		Problem: "96x96 grid", Group: GroupFig3,
+		Generate: func(p int) *trace.Trace { return Ocean(p, 96, false) },
+	},
+	{
+		Name: "radiosity", Title: "Light distribution",
+		PaperProblem: "-room -batch", PaperWS: 29,
+		Problem: "2048 patches", Group: GroupFig4,
+		Generate: func(p int) *trace.Trace { return Radiosity(p, 2048) },
+	},
+	{
+		Name: "radix", Title: "Integer radix sort",
+		PaperProblem: "2 M keys, radix 1024", PaperWS: 16.5,
+		Problem: "32 K keys, radix 256", Group: GroupFig3,
+		Generate: func(p int) *trace.Trace { return Radix(p, 32768, 256) },
+	},
+	{
+		Name: "raytrace", Title: "Hierarchical ray tracing",
+		PaperProblem: "car.env -a1", PaperWS: 36,
+		Problem: "1024 triangles, 80x80 image", Group: GroupFig4,
+		Generate: func(p int) *trace.Trace { return Raytrace(p, 1024, 80) },
+	},
+	{
+		Name: "volrend", Title: "3-D volume rendering",
+		PaperProblem: "256x256x126 vx head", PaperWS: 22.5,
+		Problem: "64^3 volume, 64x64 image", Group: GroupFig4,
+		Generate: func(p int) *trace.Trace { return Volrend(p, 64, 64) },
+	},
+	{
+		Name: "water-n2", Title: "Molecular dynamics O(n^2)",
+		PaperProblem: "512 molecules", PaperWS: 1,
+		Problem: "160 molecules, 2 steps", Group: GroupFig3,
+		Generate: func(p int) *trace.Trace { return WaterN2(p, 160, 2) },
+	},
+	{
+		Name: "water-sp", Title: "Molecular dynamics, spatial",
+		PaperProblem: "512 molecules", PaperWS: 1.7,
+		Problem: "256 molecules, 2 steps", Group: GroupFig3,
+		Generate: func(p int) *trace.Trace { return WaterSp(p, 256, 2) },
+	},
+}
+
+// ByName finds an application.
+func ByName(name string) (App, error) {
+	for _, a := range Registry {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("apps: unknown application %q (known: %v)", name, Names())
+}
+
+// Names returns the registry names in order.
+func Names() []string {
+	out := make([]string, len(Registry))
+	for i, a := range Registry {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Group returns the applications of a traffic group, in registry order.
+func Group(g TrafficGroup) []App {
+	var out []App
+	for _, a := range Registry {
+		if a.Group == g {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SortedNames returns names sorted alphabetically (for stable CLI output).
+func SortedNames() []string {
+	n := Names()
+	sort.Strings(n)
+	return n
+}

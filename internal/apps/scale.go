@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Scale selects a problem-size variant: the default inputs (Table 1's
+// scaled problems), a half-size variant, and a double-size variant. The
+// paper's methodology sizes every cache from the working set, so scaled
+// runs test whether conclusions survive problem-size changes — the
+// BenchmarkAblationScale check.
+type Scale int
+
+// Problem scales.
+const (
+	ScaleSmall Scale = iota
+	ScaleDefault
+	ScaleLarge
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleDefault:
+		return "default"
+	case ScaleLarge:
+		return "large"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// GenerateScaled builds the named application at the given problem scale.
+// Dimensions scale so the working set roughly halves/doubles; structural
+// parameters (block sizes, radix, supernode width) stay fixed, as they
+// would in the original codes.
+func GenerateScaled(name string, procs int, s Scale) (*trace.Trace, error) {
+	type sizes struct{ small, def, large func(int) *trace.Trace }
+	table := map[string]sizes{
+		"barnes": {
+			small: func(p int) *trace.Trace { return Barnes(p, 256, 2) },
+			def:   func(p int) *trace.Trace { return Barnes(p, 512, 2) },
+			large: func(p int) *trace.Trace { return Barnes(p, 1024, 2) },
+		},
+		"cholesky": {
+			small: func(p int) *trace.Trace { return Cholesky(p, 192) },
+			def:   func(p int) *trace.Trace { return Cholesky(p, 384) },
+			large: func(p int) *trace.Trace { return Cholesky(p, 768) },
+		},
+		"fft": {
+			small: func(p int) *trace.Trace { return FFT(p, 1024) },
+			def:   func(p int) *trace.Trace { return FFT(p, 4096) },
+			large: func(p int) *trace.Trace { return FFT(p, 16384) },
+		},
+		"fmm": {
+			small: func(p int) *trace.Trace { return FMM(p, 512, 2) },
+			def:   func(p int) *trace.Trace { return FMM(p, 1024, 2) },
+			large: func(p int) *trace.Trace { return FMM(p, 2048, 2) },
+		},
+		"lu-c": {
+			small: func(p int) *trace.Trace { return LU(p, 64, 16, true) },
+			def:   func(p int) *trace.Trace { return LU(p, 96, 16, true) },
+			large: func(p int) *trace.Trace { return LU(p, 128, 16, true) },
+		},
+		"lu-n": {
+			small: func(p int) *trace.Trace { return LU(p, 64, 16, false) },
+			def:   func(p int) *trace.Trace { return LU(p, 96, 16, false) },
+			large: func(p int) *trace.Trace { return LU(p, 128, 16, false) },
+		},
+		"ocean-c": {
+			small: func(p int) *trace.Trace { return Ocean(p, 64, true) },
+			def:   func(p int) *trace.Trace { return Ocean(p, 96, true) },
+			large: func(p int) *trace.Trace { return Ocean(p, 128, true) },
+		},
+		"ocean-n": {
+			small: func(p int) *trace.Trace { return Ocean(p, 64, false) },
+			def:   func(p int) *trace.Trace { return Ocean(p, 96, false) },
+			large: func(p int) *trace.Trace { return Ocean(p, 128, false) },
+		},
+		"radiosity": {
+			small: func(p int) *trace.Trace { return Radiosity(p, 1024) },
+			def:   func(p int) *trace.Trace { return Radiosity(p, 2048) },
+			large: func(p int) *trace.Trace { return Radiosity(p, 4096) },
+		},
+		"radix": {
+			small: func(p int) *trace.Trace { return Radix(p, 16384, 256) },
+			def:   func(p int) *trace.Trace { return Radix(p, 32768, 256) },
+			large: func(p int) *trace.Trace { return Radix(p, 65536, 256) },
+		},
+		"raytrace": {
+			small: func(p int) *trace.Trace { return Raytrace(p, 512, 64) },
+			def:   func(p int) *trace.Trace { return Raytrace(p, 1024, 80) },
+			large: func(p int) *trace.Trace { return Raytrace(p, 2048, 112) },
+		},
+		"volrend": {
+			small: func(p int) *trace.Trace { return Volrend(p, 32, 48) },
+			def:   func(p int) *trace.Trace { return Volrend(p, 64, 64) },
+			large: func(p int) *trace.Trace { return Volrend(p, 64, 96) },
+		},
+		"water-n2": {
+			small: func(p int) *trace.Trace { return WaterN2(p, 96, 2) },
+			def:   func(p int) *trace.Trace { return WaterN2(p, 160, 2) },
+			large: func(p int) *trace.Trace { return WaterN2(p, 256, 2) },
+		},
+		"water-sp": {
+			small: func(p int) *trace.Trace { return WaterSp(p, 128, 2) },
+			def:   func(p int) *trace.Trace { return WaterSp(p, 256, 2) },
+			large: func(p int) *trace.Trace { return WaterSp(p, 512, 2) },
+		},
+	}
+	entry, ok := table[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: no scale table for %q", name)
+	}
+	switch s {
+	case ScaleSmall:
+		return entry.small(procs), nil
+	case ScaleDefault:
+		return entry.def(procs), nil
+	case ScaleLarge:
+		return entry.large(procs), nil
+	default:
+		return nil, fmt.Errorf("apps: unknown scale %v", s)
+	}
+}
+
+// ScaleRatio reports large/small working-set ratio for a generated pair —
+// a sanity helper for tests.
+func ScaleRatio(name string, procs int) (float64, error) {
+	small, err := GenerateScaled(name, procs, ScaleSmall)
+	if err != nil {
+		return 0, err
+	}
+	large, err := GenerateScaled(name, procs, ScaleLarge)
+	if err != nil {
+		return 0, err
+	}
+	return float64(large.WorkingSet) / math.Max(1, float64(small.WorkingSet)), nil
+}

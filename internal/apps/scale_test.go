@@ -1,0 +1,47 @@
+package apps
+
+import "testing"
+
+func TestScaleString(t *testing.T) {
+	if ScaleSmall.String() != "small" || ScaleDefault.String() != "default" || ScaleLarge.String() != "large" {
+		t.Fatal("scale names")
+	}
+}
+
+// Every registered application has all three scales, the default scale
+// matches the registry, and working sets order small < default < large.
+func TestScaledVariants(t *testing.T) {
+	for _, a := range Registry {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			small, err := GenerateScaled(a.Name, 16, ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			def, err := GenerateScaled(a.Name, 16, ScaleDefault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			large, err := GenerateScaled(a.Name, 16, ScaleLarge)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if def.WorkingSet != a.Generate(16).WorkingSet {
+				t.Errorf("default scale diverges from the registry problem")
+			}
+			if !(small.WorkingSet <= def.WorkingSet && def.WorkingSet <= large.WorkingSet) {
+				t.Errorf("working sets out of order: %d / %d / %d",
+					small.WorkingSet, def.WorkingSet, large.WorkingSet)
+			}
+			if small.WorkingSet == large.WorkingSet {
+				t.Errorf("small and large scales identical")
+			}
+		})
+	}
+}
+
+func TestGenerateScaledUnknown(t *testing.T) {
+	if _, err := GenerateScaled("nope", 16, ScaleDefault); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,28 @@
+package apps
+
+import (
+	"testing"
+)
+
+// TestGenerateAll generates every registered workload (each kernel
+// self-checks its computation) and sanity-checks the traces.
+func TestGenerateAll(t *testing.T) {
+	for _, app := range Registry {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			tr := app.Generate(16)
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			s := tr.Summarize()
+			t.Logf("%s: ws=%d KB reads=%d writes=%d acquires=%d barriers=%d distinct=%d shared=%d",
+				app.Name, tr.WorkingSet/1024, s.Reads, s.Writes, s.Acquires, s.Barriers, s.DistinctLines, s.SharedLines)
+			if s.Reads == 0 || s.Writes == 0 {
+				t.Fatalf("%s: empty trace", app.Name)
+			}
+			if s.SharedLines == 0 {
+				t.Fatalf("%s: no shared lines — not a parallel workload", app.Name)
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Volrend models the SPLASH-2 volume renderer: a large read-shared voxel
+// volume with a min-max octree for empty-space skipping, an image
+// partitioned into tiles handed out from a lock-protected counter, and per
+// ray a front-to-back compositing walk with early termination. Like
+// Raytrace, the read-mostly volume wants replication, making Volrend
+// conflict-sensitive at very high memory pressure. Image coverage and
+// opacity bounds are verified.
+func Volrend(procs, volSide, imgSide int) *trace.Trace {
+	g := NewGen("volrend", procs)
+	n := volSide
+	vol := g.I32("volume", n*n*n)
+	// Min-max octree level: one cell per 4x4x4 brick storing max opacity.
+	bs := n / 4
+	oct := g.I32("octree", bs*bs*bs)
+	img := g.I32("image", imgSide*imgSide)
+	counter := g.I32("tile-counter", 16)
+	qlock := g.NewLock("tile-queue")
+
+	vat := func(x, y, z int) int { return (z*n+y)*n + x }
+	oat := func(x, y, z int) int { return (z*bs+y)*bs + x }
+
+	// Init by processor 0: a "head"-like blob — dense ellipsoid in the
+	// middle, empty space around it — then the octree summary.
+	c := float64(n) / 2
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				dx, dy, dz := float64(x)-c, float64(y)-c, float64(z)-c
+				r2 := dx*dx + 1.3*dy*dy + 0.8*dz*dz
+				v := int32(0)
+				if r2 < c*c*0.6 {
+					v = int32(40 + g.rng.Intn(60))
+				}
+				vol.Write(0, vat(x, y, z), v)
+				g.Compute(0, 3)
+			}
+		}
+	}
+	for z := 0; z < bs; z++ {
+		for y := 0; y < bs; y++ {
+			for x := 0; x < bs; x++ {
+				var mx int32
+				for dz := 0; dz < 4; dz++ {
+					for dy := 0; dy < 4; dy++ {
+						for dx := 0; dx < 4; dx++ {
+							v := vol.Read(0, vat(x*4+dx, y*4+dy, z*4+dz))
+							if v > mx {
+								mx = v
+							}
+						}
+					}
+				}
+				oct.Write(0, oat(x, y, z), mx)
+				g.Compute(0, 70)
+			}
+		}
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	const tile = 8
+	tiles := (imgSide / tile) * (imgSide / tile)
+	for view := 0; view < 2; view++ {
+		// Reset the tile counter (processor 0).
+		counter.Write(0, 0, 0)
+		g.Barrier()
+		for {
+			progress := false
+			for p := 0; p < procs; p++ {
+				g.Acquire(p, qlock)
+				t := int(counter.Read(p, 0))
+				if t < tiles {
+					counter.Write(p, 0, int32(t+1))
+				}
+				g.Release(p, qlock)
+				if t >= tiles {
+					continue
+				}
+				progress = true
+				volrendTile(g, p, t, view, n, bs, imgSide, tile, vol, oct, img, vat, oat)
+			}
+			if !progress {
+				break
+			}
+		}
+		g.Barrier()
+	}
+
+	// Self-check (untraced): the blob produced opaque pixels and all
+	// opacities are within range.
+	opaque := 0
+	for i := 0; i < imgSide*imgSide; i++ {
+		v := img.Peek(i)
+		if v < 0 || v > 255 {
+			panic(fmt.Sprintf("volrend: pixel %d out of range: %d", i, v))
+		}
+		if v > 0 {
+			opaque++
+		}
+	}
+	if opaque < imgSide*imgSide/8 {
+		panic(fmt.Sprintf("volrend: only %d opaque pixels", opaque))
+	}
+	return g.Finish()
+}
+
+// volrendTile casts the rays of one tile front to back with octree
+// skipping and early ray termination.
+func volrendTile(g *Gen, p, t, view, n, bs, imgSide, tile int,
+	vol, oct, img *I32, vat func(x, y, z int) int, oat func(x, y, z int) int) {
+
+	tilesX := imgSide / tile
+	tx, ty := (t%tilesX)*tile, (t/tilesX)*tile
+	scale := n / imgSide
+	if scale == 0 {
+		scale = 1
+	}
+	for y := ty; y < ty+tile; y++ {
+		for x := tx; x < tx+tile; x++ {
+			vx, vy := (x*scale)%n, (y*scale)%n
+			acc := int32(0)
+			for z := 0; z < n && acc < 250; z += 4 {
+				// Octree probe: skip the whole brick when empty.
+				var mx int32
+				if view == 0 {
+					mx = oct.Read(p, oat(vx/4, vy/4, z/4))
+				} else {
+					mx = oct.Read(p, oat(z/4, vy/4, vx/4))
+				}
+				g.Compute(p, 6)
+				if mx == 0 {
+					continue
+				}
+				for dz := 0; dz < 4 && acc < 250; dz++ {
+					var v int32
+					if view == 0 {
+						v = vol.Read(p, vat(vx, vy, z+dz))
+					} else {
+						v = vol.Read(p, vat(z+dz, vy, vx))
+					}
+					acc += v / 8
+					g.Compute(p, 8)
+				}
+			}
+			if acc > 255 {
+				acc = 255
+			}
+			img.Write(p, y*imgSide+x, acc)
+			g.Compute(p, 4)
+		}
+	}
+}

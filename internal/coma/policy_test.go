@@ -1,0 +1,153 @@
+package coma
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+)
+
+func protWithPolicy(nodes, sets, ways int, pol Policy) *Protocol {
+	return NewProtocol(Config{Nodes: nodes, SetsPerAM: sets, Ways: ways,
+		Policy: pol, PolicySet: true})
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	pol := DefaultPolicy()
+	if !pol.VictimSharedFirst || !pol.PromoteOwnership || !pol.AcceptPriority {
+		t.Fatalf("default policy %+v must enable everything", pol)
+	}
+	p := NewProtocol(Config{Nodes: 2, SetsPerAM: 2, Ways: 2})
+	if p.Policy() != pol {
+		t.Fatal("unset policy must normalize to the paper's")
+	}
+	off := protWithPolicy(2, 2, 2, Policy{})
+	if off.Policy() != (Policy{}) {
+		t.Fatal("PolicySet must preserve an all-off policy")
+	}
+}
+
+// With promotion disabled, evicting an Owner line with surviving Shared
+// copies must inject data (keeping the replicas) instead of promoting.
+func TestNoPromotionInjectsOwner(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.PromoteOwnership = false
+	p := protWithPolicy(4, 2, 2, pol)
+	p.Write(0, 0)
+	p.Read(1, 0) // node 0: O, node 1: S
+	p.Write(0, 4)
+	eff := p.Write(0, 8) // evicts Owner line 0 from node 0
+	var inject *Txn
+	for i := range eff.Txns {
+		if eff.Txns[i].Class == TxnReplace && eff.Txns[i].Data {
+			inject = &eff.Txns[i]
+		}
+	}
+	if inject == nil {
+		t.Fatalf("expected injection, txns %+v", eff.Txns)
+	}
+	if s := p.Stats(); s.Promotes != 0 || s.Injects != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The receiver holds the Owner copy (if the receiver happened to be
+	// the sharer, its copy upgraded in place); any other replica
+	// survives as Shared.
+	if st, _ := p.AM(inject.Remote).Lookup(0); st != Owner {
+		t.Fatalf("receiver state %s, want O", StateName(st))
+	}
+	if inject.Remote != 1 {
+		if st, _ := p.AM(1).Lookup(0); st != Shared {
+			t.Fatalf("node 1 state %s, want S", StateName(st))
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With pure-LRU victims, the Shared-first priority is gone: the LRU line
+// is evicted even when a Shared line is present.
+func TestVictimLRUOnly(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.VictimSharedFirst = false
+	p := protWithPolicy(4, 2, 2, pol)
+	p.Write(1, 0)
+	p.Read(0, 0)  // node 0: S(0) — oldest
+	p.Write(0, 4) // node 0: E(4)
+	p.Read(0, 0)  // touch S(0): now E(4) is LRU
+	eff := p.Write(0, 8)
+	// Pure LRU evicts E(4) (relocation) rather than dropping S(0).
+	sawInject := false
+	for _, txn := range eff.Txns {
+		if txn.Class == TxnReplace && txn.Data {
+			sawInject = true
+		}
+	}
+	if !sawInject {
+		t.Fatalf("pure LRU should relocate the E line, txns %+v", eff.Txns)
+	}
+	if st, _ := p.AM(0).Lookup(0); st != Shared {
+		t.Fatal("the freshly touched Shared line should survive under LRU")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All eight policy combinations preserve the protocol invariants under
+// random operation sequences.
+func TestPolicyInvariantsProperty(t *testing.T) {
+	prop := func(seed int64, pbits uint8) bool {
+		pol := Policy{
+			VictimSharedFirst: pbits&1 != 0,
+			PromoteOwnership:  pbits&2 != 0,
+			AcceptPriority:    pbits&4 != 0,
+		}
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(3)
+		p := protWithPolicy(nodes, 1+rng.Intn(3), 1+rng.Intn(3), pol)
+		for i := 0; i < 250; i++ {
+			node := rng.Intn(nodes)
+			line := addrspace.Line(rng.Intn(32))
+			if rng.Intn(2) == 0 {
+				p.Read(node, line)
+			} else {
+				p.Write(node, line)
+			}
+		}
+		return p.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The accept-based priority really avoids avalanches: with it on, a
+// replacement workload causes no cascaded injections while Invalid ways
+// exist elsewhere.
+func TestAcceptPriorityAvoidsAvalanche(t *testing.T) {
+	pol := DefaultPolicy()
+	p := protWithPolicy(4, 1, 2, pol)
+	// Node 0 overflows its 2-way set three times; nodes 1-3 are empty, so
+	// every injection must land in an Invalid way without cascading.
+	for i := 0; i < 5; i++ {
+		p.Write(0, addrspace.Line(i))
+	}
+	s := p.Stats()
+	if s.Injects != 3 {
+		t.Fatalf("injects = %d, want 3", s.Injects)
+	}
+	// No receiver was forced to evict: machine-wide resident lines = 5.
+	total := 0
+	for n := 0; n < 4; n++ {
+		total += p.AM(n).CountState(func(cache.State) bool { return true })
+	}
+	if total != 5 {
+		t.Fatalf("resident lines = %d, want 5 (no losses, no cascades)", total)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

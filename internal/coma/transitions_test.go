@@ -1,0 +1,169 @@
+package coma
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+)
+
+// Table-driven verification of every (local state, access) transition of
+// the E/O/S/I protocol, for both the accessing node and the other copy
+// holders. setup establishes the initial machine-wide state of line 7
+// from the accessor's (node 0) point of view.
+func TestStateTransitionTable(t *testing.T) {
+	const line addrspace.Line = 7
+	type outcome struct {
+		local    cache.State // node 0's state after the access
+		hit      bool
+		txns     int
+		dataTxns int
+		remote0  cache.State // node 1's state after (the previous holder)
+	}
+	cases := []struct {
+		name   string
+		setup  func(p *Protocol) // establish pre-state
+		access func(p *Protocol) Effect
+		want   outcome
+	}{
+		{
+			name:   "read/I-nowhere(cold)",
+			setup:  func(p *Protocol) {},
+			access: func(p *Protocol) Effect { return p.Read(0, line) },
+			want:   outcome{local: Exclusive, txns: 0},
+		},
+		{
+			name:   "read/I-remoteE",
+			setup:  func(p *Protocol) { p.Write(1, line) },
+			access: func(p *Protocol) Effect { return p.Read(0, line) },
+			want:   outcome{local: Shared, txns: 1, dataTxns: 1, remote0: Owner},
+		},
+		{
+			name: "read/I-remoteO",
+			setup: func(p *Protocol) {
+				p.Write(1, line)
+				p.Read(2, line) // node 1: O, node 2: S
+			},
+			access: func(p *Protocol) Effect { return p.Read(0, line) },
+			want:   outcome{local: Shared, txns: 1, dataTxns: 1, remote0: Owner},
+		},
+		{
+			name:   "read/E-local",
+			setup:  func(p *Protocol) { p.Write(0, line) },
+			access: func(p *Protocol) Effect { return p.Read(0, line) },
+			want:   outcome{local: Exclusive, hit: true},
+		},
+		{
+			name: "read/S-local",
+			setup: func(p *Protocol) {
+				p.Write(1, line)
+				p.Read(0, line)
+			},
+			access: func(p *Protocol) Effect { return p.Read(0, line) },
+			want:   outcome{local: Shared, hit: true, remote0: Owner},
+		},
+		{
+			name: "read/O-local",
+			setup: func(p *Protocol) {
+				p.Write(0, line)
+				p.Read(1, line) // node 0: O, node 1: S
+			},
+			access: func(p *Protocol) Effect { return p.Read(0, line) },
+			want:   outcome{local: Owner, hit: true, remote0: Shared},
+		},
+		{
+			name:   "write/I-nowhere(cold)",
+			setup:  func(p *Protocol) {},
+			access: func(p *Protocol) Effect { return p.Write(0, line) },
+			want:   outcome{local: Exclusive},
+		},
+		{
+			name:   "write/I-remoteE(fetch-exclusive)",
+			setup:  func(p *Protocol) { p.Write(1, line) },
+			access: func(p *Protocol) Effect { return p.Write(0, line) },
+			want:   outcome{local: Exclusive, txns: 1, dataTxns: 1, remote0: cache.Invalid},
+		},
+		{
+			name: "write/S-local(upgrade)",
+			setup: func(p *Protocol) {
+				p.Write(1, line)
+				p.Read(0, line)
+			},
+			access: func(p *Protocol) Effect { return p.Write(0, line) },
+			want:   outcome{local: Exclusive, txns: 1, remote0: cache.Invalid},
+		},
+		{
+			name: "write/O-local(upgrade)",
+			setup: func(p *Protocol) {
+				p.Write(0, line)
+				p.Read(1, line) // node 0: O, node 1: S
+			},
+			access: func(p *Protocol) Effect { return p.Write(0, line) },
+			want:   outcome{local: Exclusive, txns: 1, remote0: cache.Invalid},
+		},
+		{
+			name:   "write/E-local(silent)",
+			setup:  func(p *Protocol) { p.Write(0, line) },
+			access: func(p *Protocol) Effect { return p.Write(0, line) },
+			want:   outcome{local: Exclusive, hit: true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newProt(4, 8, 2)
+			tc.setup(p)
+			eff := tc.access(p)
+			if eff.Hit != tc.want.hit {
+				t.Errorf("hit = %v, want %v", eff.Hit, tc.want.hit)
+			}
+			if len(eff.Txns) != tc.want.txns {
+				t.Errorf("txns = %d (%+v), want %d", len(eff.Txns), eff.Txns, tc.want.txns)
+			}
+			data := 0
+			for _, txn := range eff.Txns {
+				if txn.Data {
+					data++
+				}
+			}
+			if data != tc.want.dataTxns {
+				t.Errorf("data txns = %d, want %d", data, tc.want.dataTxns)
+			}
+			if got := state(t, p, 0, line); got != tc.want.local {
+				t.Errorf("local state %s, want %s", StateName(got), StateName(tc.want.local))
+			}
+			if got := state(t, p, 1, line); got != tc.want.remote0 {
+				t.Errorf("node 1 state %s, want %s", StateName(got), StateName(tc.want.remote0))
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Reading a line that exists only as a remote Owner with other sharers
+// must leave exactly one Owner machine-wide.
+func TestSingleOwnerAfterFanOut(t *testing.T) {
+	p := newProt(8, 8, 2)
+	p.Write(3, 7)
+	for n := 0; n < 8; n++ {
+		if n != 3 {
+			p.Read(n, 7)
+		}
+	}
+	owners := 0
+	for n := 0; n < 8; n++ {
+		if st := state(t, p, n, 7); st == Owner || st == Exclusive {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("owners = %d, want 1", owners)
+	}
+	if _, copies := p.Holders(7); copies != 0xff {
+		t.Fatalf("copies = %b, want full replication", copies)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package coma
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+)
+
+func updateProt(nodes, sets, ways int) *Protocol {
+	pol := DefaultPolicy()
+	pol.WriteUpdate = true
+	return protWithPolicy(nodes, sets, ways, pol)
+}
+
+// An update-policy write to a replicated line keeps every copy valid; the
+// writer becomes Owner and the previous owner is demoted to Shared.
+func TestUpdateWriteKeepsSharers(t *testing.T) {
+	p := updateProt(4, 8, 2)
+	p.Write(0, 7)
+	p.Read(1, 7)
+	p.Read(2, 7) // node 0: O, nodes 1-2: S
+	eff := p.Write(2, 7)
+	if eff.Hit {
+		t.Fatal("replicated write cannot be a silent hit")
+	}
+	if len(eff.Txns) != 1 || !eff.Txns[0].Data || eff.Txns[0].Class != TxnWrite {
+		t.Fatalf("txns %+v, want one data-carrying write broadcast", eff.Txns)
+	}
+	if eff.Writable {
+		t.Fatal("a replicated line must not become writable")
+	}
+	if st := state(t, p, 2, 7); st != Owner {
+		t.Fatalf("writer state %s, want O", StateName(st))
+	}
+	if st := state(t, p, 0, 7); st != Shared {
+		t.Fatalf("previous owner state %s, want S", StateName(st))
+	}
+	if st := state(t, p, 1, 7); st != Shared {
+		t.Fatalf("sharer state %s, want S (not invalidated)", StateName(st))
+	}
+	// Sharers re-read without any transaction.
+	if eff := p.Read(0, 7); !eff.Hit {
+		t.Fatal("update policy must keep reader copies valid")
+	}
+	if s := p.Stats(); s.Updates != 1 || s.Upgrades != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An update-policy write miss fetches a copy and takes ownership without
+// invalidating anyone.
+func TestUpdateWriteMiss(t *testing.T) {
+	p := updateProt(4, 8, 2)
+	p.Write(0, 7)
+	p.Read(1, 7)
+	eff := p.Write(3, 7)
+	if eff.Cold || eff.Hit {
+		t.Fatalf("effect %+v", eff)
+	}
+	if st := state(t, p, 3, 7); st != Owner {
+		t.Fatalf("writer state %s, want O", StateName(st))
+	}
+	for _, n := range []int{0, 1} {
+		if st := state(t, p, n, 7); st != Shared {
+			t.Fatalf("node %d state %s, want S", n, StateName(st))
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A sole-copy write under the update policy is still exclusive and
+// writable (no sharers to update).
+func TestUpdateSoleCopyWritable(t *testing.T) {
+	p := updateProt(4, 8, 2)
+	eff := p.Write(0, 7) // cold
+	if !eff.Writable {
+		t.Fatal("cold write must be writable")
+	}
+	eff = p.Write(0, 7)
+	if !eff.Hit || !eff.Writable {
+		t.Fatalf("sole-copy re-write must hit: %+v", eff)
+	}
+}
+
+// Update-policy invariants hold under random operation sequences.
+func TestUpdateInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(4)
+		p := updateProt(nodes, 1+rng.Intn(4), 1+rng.Intn(3))
+		for i := 0; i < 300; i++ {
+			node := rng.Intn(nodes)
+			line := addrspace.Line(rng.Intn(40))
+			if rng.Intn(2) == 0 {
+				p.Read(node, line)
+			} else {
+				p.Write(node, line)
+			}
+		}
+		return p.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Under the update policy nothing is ever invalidated by writes: once a
+// node holds a copy, only replacement can take it away.
+func TestUpdateNeverInvalidates(t *testing.T) {
+	p := updateProt(4, 16, 4) // ample space: no replacements
+	for n := 0; n < 4; n++ {
+		p.Read(n, 9)
+	}
+	for i := 0; i < 10; i++ {
+		p.Write(i%4, 9)
+	}
+	for n := 0; n < 4; n++ {
+		if st, ok := p.AM(n).Lookup(9); !ok || st == cache.Invalid {
+			t.Fatalf("node %d lost its copy under the update policy", n)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package config derives concrete machine parameterizations from the
+// paper's methodology: cache sizes scale with the application working set
+// (SLC = WS/128), the attraction memory size follows from the memory
+// pressure (MP = WS / total AM), and the per-processor AM quota is held
+// constant across clustering degrees.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/coma"
+	"repro/internal/machine"
+)
+
+// Pressure is one of the paper's memory-pressure operating points,
+// expressed as K/16: a single copy of the working set entirely fills K of
+// the 16 per-processor attraction-memory quotas.
+type Pressure struct {
+	Label string
+	K     int
+}
+
+// The paper's five operating points: 6%, 50%, 75%, 81% and 87%.
+var (
+	MP6  = Pressure{"6%", 1}
+	MP50 = Pressure{"50%", 8}
+	MP75 = Pressure{"75%", 12}
+	MP81 = Pressure{"81%", 13}
+	MP87 = Pressure{"87%", 14}
+)
+
+// Pressures lists the operating points in ascending order.
+var Pressures = []Pressure{MP6, MP50, MP75, MP81, MP87}
+
+// PressureByLabel resolves "50%" etc.
+func PressureByLabel(label string) (Pressure, error) {
+	for _, p := range Pressures {
+		if p.Label == label {
+			return p, nil
+		}
+	}
+	return Pressure{}, fmt.Errorf("config: unknown memory pressure %q", label)
+}
+
+// Fraction returns the memory pressure as a fraction of total AM capacity.
+func (p Pressure) Fraction() float64 { return float64(p.K) / 16 }
+
+// Machine holds the tunables of one simulated configuration on top of a
+// workload's working set.
+type Machine struct {
+	// Procs is the total processor count; 0 selects the paper's 16.
+	Procs int
+	// ProcsPerNode is the clustering degree (1, 2 or 4 in the paper).
+	ProcsPerNode int
+	// Pressure selects the AM sizing.
+	Pressure Pressure
+	// AMWays is the attraction-memory associativity (4, or 8 for the
+	// Figure 4 variant).
+	AMWays int
+	// Bandwidth multipliers (1.0 = paper baseline; Figure 5 uses
+	// DRAM = 2).
+	DRAMBandwidth, NCBandwidth, BusBandwidth float64
+	// Inclusive hierarchy (paper default true).
+	Inclusive bool
+	// Policy selects the protocol's replacement design choices
+	// (ablations; default is the paper's protocol).
+	Policy coma.Policy
+}
+
+// Baseline returns the paper's default machine at the given clustering
+// degree and pressure.
+func Baseline(procsPerNode int, mp Pressure) Machine {
+	return Machine{
+		ProcsPerNode:  procsPerNode,
+		Pressure:      mp,
+		AMWays:        4,
+		DRAMBandwidth: 1,
+		NCBandwidth:   1,
+		BusBandwidth:  1,
+		Inclusive:     true,
+		Policy:        coma.DefaultPolicy(),
+	}
+}
+
+// Figure5 returns the execution-time study configuration: the paper
+// doubles the DRAM bandwidth (holding latency constant) for Figure 5.
+func Figure5(procsPerNode int, mp Pressure) Machine {
+	m := Baseline(procsPerNode, mp)
+	m.DRAMBandwidth = 2
+	return m
+}
+
+// Params concretizes the configuration for a workload with the given
+// working set (bytes); the processor count defaults to the paper's 16.
+func (m Machine) Params(workingSet uint64) machine.Params {
+	procs := m.Procs
+	if procs == 0 {
+		procs = 16
+	}
+	slc := roundLines(workingSet / 128)
+	if slc < 4*addrspace.LineSize {
+		slc = 4 * addrspace.LineSize // at least one 4-way set
+	}
+	// The paper fixes the L1 at 4 KB against multi-MB working sets; with
+	// scaled-down working sets the L1 scales too (WS/512, clamped), to
+	// preserve the L1:WS ratio the traffic results depend on.
+	l1 := roundLines(workingSet / 512)
+	if l1 < 512 {
+		l1 = 512
+	}
+	if l1 > 4096 {
+		l1 = 4096
+	}
+	amPerProc := roundLines(workingSet / uint64(m.Pressure.K))
+	ways := m.AMWays
+	if ways <= 0 {
+		ways = 4
+	}
+	if amPerProc < uint64(ways*addrspace.LineSize) {
+		amPerProc = uint64(ways * addrspace.LineSize)
+	}
+	p := machine.DefaultParams(procs, m.ProcsPerNode, int(slc), int(amPerProc))
+	p.L1Bytes = int(l1)
+	p.AMWays = ways
+	p.DRAMBandwidth = nz(m.DRAMBandwidth)
+	p.NCBandwidth = nz(m.NCBandwidth)
+	p.BusBandwidth = nz(m.BusBandwidth)
+	p.Inclusive = m.Inclusive
+	p.Policy = m.Policy
+	return p
+}
+
+func nz(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+func roundLines(b uint64) uint64 {
+	if b%addrspace.LineSize != 0 {
+		b += addrspace.LineSize - b%addrspace.LineSize
+	}
+	return b
+}

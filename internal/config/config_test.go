@@ -1,0 +1,96 @@
+package config
+
+import (
+	"testing"
+)
+
+func TestPressurePoints(t *testing.T) {
+	if len(Pressures) != 5 {
+		t.Fatalf("want 5 pressure points, got %d", len(Pressures))
+	}
+	wantK := []int{1, 8, 12, 13, 14}
+	for i, p := range Pressures {
+		if p.K != wantK[i] {
+			t.Fatalf("pressure %s K=%d, want %d", p.Label, p.K, wantK[i])
+		}
+	}
+	if MP50.Fraction() != 0.5 {
+		t.Fatalf("MP50 fraction %v", MP50.Fraction())
+	}
+	if MP6.Fraction() != 1.0/16 {
+		t.Fatalf("MP6 fraction %v", MP6.Fraction())
+	}
+}
+
+func TestPressureByLabel(t *testing.T) {
+	p, err := PressureByLabel("81%")
+	if err != nil || p.K != 13 {
+		t.Fatalf("%+v %v", p, err)
+	}
+	if _, err := PressureByLabel("42%"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParamsScaling(t *testing.T) {
+	const ws = 1 << 20 // 1 MB working set
+	m := Baseline(1, MP6)
+	p := m.Params(ws)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.SLCBytes != ws/128 {
+		t.Fatalf("SLC = %d, want WS/128 = %d", p.SLCBytes, ws/128)
+	}
+	if p.L1Bytes != ws/512 {
+		t.Fatalf("L1 = %d, want WS/512", p.L1Bytes)
+	}
+	// At 6% MP a single per-processor AM holds the whole working set.
+	if p.AMBytesPerProc < ws {
+		t.Fatalf("AM per proc = %d, want >= %d at 6%% MP", p.AMBytesPerProc, ws)
+	}
+}
+
+// The per-processor AM quota is held constant across clusterings (paper
+// Section 3.1): a 4-processor node has a 4x AM.
+func TestAMQuotaConstantAcrossClustering(t *testing.T) {
+	const ws = 1 << 20
+	p1 := Baseline(1, MP50).Params(ws)
+	p4 := Baseline(4, MP50).Params(ws)
+	if p1.AMBytesPerProc != p4.AMBytesPerProc {
+		t.Fatalf("per-proc AM differs: %d vs %d", p1.AMBytesPerProc, p4.AMBytesPerProc)
+	}
+	if p1.Nodes() != 16 || p4.Nodes() != 4 {
+		t.Fatalf("nodes %d / %d", p1.Nodes(), p4.Nodes())
+	}
+}
+
+// Higher memory pressure means smaller attraction memories.
+func TestPressureShrinksAM(t *testing.T) {
+	const ws = 1 << 20
+	prev := 1 << 62
+	for _, mp := range Pressures {
+		p := Baseline(1, mp).Params(ws)
+		if p.AMBytesPerProc >= prev {
+			t.Fatalf("AM did not shrink at %s: %d >= %d", mp.Label, p.AMBytesPerProc, prev)
+		}
+		prev = p.AMBytesPerProc
+	}
+}
+
+func TestFigure5Preset(t *testing.T) {
+	m := Figure5(4, MP81)
+	if m.DRAMBandwidth != 2 {
+		t.Fatal("Figure 5 uses doubled DRAM bandwidth")
+	}
+	if m.ProcsPerNode != 4 || m.Pressure != MP81 || m.AMWays != 4 || !m.Inclusive {
+		t.Fatalf("preset %+v", m)
+	}
+}
+
+func TestTinyWorkingSetClamps(t *testing.T) {
+	p := Baseline(1, MP87).Params(4096) // absurdly small WS
+	if err := p.Validate(); err != nil {
+		t.Fatalf("clamped params must validate: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package core is the public facade of the COMA clustering simulator: it
+// ties the workload kernels, the machine configuration methodology and the
+// timing simulator together behind a small API.
+//
+// A typical use:
+//
+//	tr := core.MustWorkload("radix", 16)
+//	res, err := core.Run(tr, core.Config{ProcsPerNode: 4, Pressure: core.MP81})
+//	fmt.Println(res.RNMr(), res.ExecTime)
+//
+// Everything a run produces — execution-time breakdowns, read-node-miss
+// rates, per-class bus traffic, protocol counters — is in Result.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/machine"
+	"repro/internal/numa"
+	"repro/internal/trace"
+)
+
+// Re-exported types so callers need only this package for common use.
+type (
+	// Config selects the machine configuration (clustering degree,
+	// memory pressure, associativity, bandwidths).
+	Config = config.Machine
+	// Pressure is a memory-pressure operating point (K/16).
+	Pressure = config.Pressure
+	// Result is everything a simulation run measures.
+	Result = machine.Result
+	// Trace is a generated workload reference trace.
+	Trace = trace.Trace
+)
+
+// The paper's memory-pressure operating points.
+var (
+	MP6  = config.MP6
+	MP50 = config.MP50
+	MP75 = config.MP75
+	MP81 = config.MP81
+	MP87 = config.MP87
+)
+
+// Pressures lists the operating points in ascending order.
+var Pressures = config.Pressures
+
+// Baseline returns the paper's default configuration for a clustering
+// degree and pressure (4-way AMs, baseline bandwidths).
+func Baseline(procsPerNode int, mp Pressure) Config {
+	return config.Baseline(procsPerNode, mp)
+}
+
+// Workloads returns the names of the bundled SPLASH-2-style kernels in
+// Table 1 order.
+func Workloads() []string { return apps.Names() }
+
+// MicroWorkloads returns the names of the bundled micro-workloads
+// (canonical sharing patterns: private, read-shared, migratory,
+// producer/consumer), accepted by Workload alongside the Table 1 names.
+func MicroWorkloads() []string { return apps.MicroNames() }
+
+// Workload generates the named workload's reference trace for the given
+// processor count (the paper always uses 16). Both Table 1 applications
+// and "micro-*" pattern workloads are accepted.
+func Workload(name string, procs int) (*Trace, error) {
+	for _, m := range apps.MicroNames() {
+		if m == name {
+			return apps.Micro(name, procs, 64, 8), nil
+		}
+	}
+	app, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return app.Generate(procs), nil
+}
+
+// MustWorkload is Workload, panicking on unknown names.
+func MustWorkload(name string, procs int) *Trace {
+	tr, err := Workload(name, procs)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Run simulates the trace on the configured machine and returns the
+// measured-section result.
+func Run(tr *Trace, cfg Config) (*Result, error) {
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	m, err := machine.New(cfg.Params(tr.WorkingSet))
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(tr)
+}
+
+// RunNUMA simulates the trace on the CC-NUMA baseline machine: identical
+// caches, bus and timing, but a home-based memory system with no
+// attraction — the ablation that isolates what the attraction memories
+// buy. The Pressure only sizes the (unused-for-attraction) local memory;
+// SLC and L1 sizes still scale from the working set.
+func RunNUMA(tr *Trace, cfg Config) (*Result, error) {
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	m, err := numa.NewMachine(cfg.Params(tr.WorkingSet))
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(tr)
+}
+
+func checkConfig(cfg Config) error {
+	if cfg.ProcsPerNode <= 0 {
+		return fmt.Errorf("core: ProcsPerNode must be positive")
+	}
+	if cfg.Pressure.K <= 0 {
+		return fmt.Errorf("core: Pressure not set (use core.MP6..MP87)")
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 14 {
+		t.Fatalf("want 14 workloads, got %d", len(ws))
+	}
+	if _, err := Workload("nope", 16); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := MustWorkload("fft", 16)
+	if _, err := Run(tr, Config{}); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+	if _, err := Run(tr, Config{ProcsPerNode: 1}); err == nil {
+		t.Fatal("missing pressure must be rejected")
+	}
+}
+
+func TestMustWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustWorkload("nope", 16)
+}
+
+func TestRunNUMA(t *testing.T) {
+	tr := MustWorkload("micro-readshared", 16)
+	res, err := RunNUMA(tr, Baseline(1, MP50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads == 0 || res.ExecTime == 0 {
+		t.Fatal("degenerate NUMA result")
+	}
+	if res.BusOccupancy[2] != 0 {
+		t.Fatal("NUMA has no replacement traffic class")
+	}
+	if _, err := RunNUMA(tr, Config{}); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+}
+
+func TestMicroWorkloadsListed(t *testing.T) {
+	ms := MicroWorkloads()
+	if len(ms) != 4 {
+		t.Fatalf("micro workloads = %d", len(ms))
+	}
+	for _, m := range ms {
+		if _, err := Workload(m, 8); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+// End-to-end: the paper's two central clustering claims hold for FFT.
+func TestClusteringReducesMissesAndTraffic(t *testing.T) {
+	tr := MustWorkload("fft", 16)
+	res1, err := Run(tr, Baseline(1, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res4, err := Run(tr, Baseline(4, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.RNMr() >= res1.RNMr() {
+		t.Fatalf("clustering must reduce RNMr: %v vs %v", res4.RNMr(), res1.RNMr())
+	}
+	if res4.BusTotal() >= res1.BusTotal() {
+		t.Fatalf("clustering must reduce traffic: %v vs %v", res4.BusTotal(), res1.BusTotal())
+	}
+}
+
+// Replacement traffic appears once the memory pressure leaves replication
+// headroom behind (paper Section 4.2).
+func TestPressureCreatesReplacementTraffic(t *testing.T) {
+	tr := MustWorkload("fft", 16)
+	low, err := Run(tr, Baseline(1, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(tr, Baseline(1, MP87))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.BusOccupancy[2] != 0 {
+		t.Fatalf("no replacements expected at 6%% MP, got %v", low.BusOccupancy[2])
+	}
+	if high.BusOccupancy[2] == 0 {
+		t.Fatal("87% MP must produce replacement traffic")
+	}
+	if high.BusTotal() <= low.BusTotal() {
+		t.Fatal("traffic must grow with memory pressure")
+	}
+}
+
+// At 6% MP the attraction memories are effectively infinite: every node
+// miss is a coherence or cold miss, never a capacity one, so the
+// protocol performs no injections.
+func TestInfiniteCacheAtLowPressure(t *testing.T) {
+	for _, name := range []string{"fft", "radix", "water-n2"} {
+		tr := MustWorkload(name, 16)
+		res, err := Run(tr, Baseline(1, MP6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Protocol.Injects != 0 || res.Protocol.SharedDrops != 0 {
+			t.Fatalf("%s: replacements at 6%% MP: %+v", name, res.Protocol)
+		}
+	}
+}
+
+// Identical config + trace produce identical results (determinism of the
+// whole pipeline).
+func TestEndToEndDeterminism(t *testing.T) {
+	tr := MustWorkload("radix", 16)
+	a, err := Run(tr, Baseline(4, MP81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, Baseline(4, MP81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecTime != b.ExecTime || a.Reads != b.Reads || a.BusTotal() != b.BusTotal() {
+		t.Fatal("pipeline is nondeterministic")
+	}
+}
+
+// Doubling DRAM bandwidth helps a clustered machine (the Section 4.3
+// observation that AM bandwidth is the key requirement for clustering).
+func TestDRAMBandwidthHelpsClustering(t *testing.T) {
+	tr := MustWorkload("radix", 16)
+	cfg := Baseline(4, MP50)
+	slow, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DRAMBandwidth = 2
+	fast, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.ExecTime >= slow.ExecTime {
+		t.Fatalf("2x DRAM bandwidth must speed up the clustered machine: %v vs %v",
+			fast.ExecTime, slow.ExecTime)
+	}
+}
+
+// Forced drops never happen at the paper's studied pressures.
+func TestNoForcedDropsAtStudiedPressures(t *testing.T) {
+	tr := MustWorkload("lu-c", 16)
+	for _, mp := range Pressures {
+		res, err := Run(tr, Baseline(1, mp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Protocol.ForcedDrops != 0 {
+			t.Fatalf("forced drops at %s MP", mp.Label)
+		}
+	}
+}

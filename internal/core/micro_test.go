@@ -1,0 +1,86 @@
+package core
+
+import "testing"
+
+// The canonical sharing patterns behave as the paper's Section 2.1
+// analysis predicts under clustering.
+
+// Producer/consumer pairs land in the same node at 2-way clustering, so
+// the consumer's node misses vanish almost entirely.
+func TestMicroProducerConsumerClustering(t *testing.T) {
+	tr := MustWorkload("micro-producer", 16)
+	r1, err := Run(tr, Baseline(1, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(tr, Baseline(2, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.RNMr() > 0.2*r1.RNMr() {
+		t.Fatalf("producer/consumer RNMr should collapse under 2-way clustering: %v vs %v",
+			r2.RNMr(), r1.RNMr())
+	}
+}
+
+// Fully private data gains nothing from clustering: the node miss rate is
+// unchanged (zero after warmup) and the only effect is node contention.
+func TestMicroPrivateClusteringNeutral(t *testing.T) {
+	tr := MustWorkload("micro-private", 16)
+	r1, err := Run(tr, Baseline(1, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(tr, Baseline(4, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ReadNodeMisses != 0 || r4.ReadNodeMisses != 0 {
+		t.Fatalf("private data should never miss the node: %d / %d",
+			r1.ReadNodeMisses, r4.ReadNodeMisses)
+	}
+	if r4.ExecTime < r1.ExecTime {
+		t.Fatalf("clustering should not speed up private work (%v vs %v)",
+			r4.ExecTime, r1.ExecTime)
+	}
+}
+
+// Migratory data: the lock and its record bounce between processors;
+// clustering keeps part of the bouncing inside a node, cutting traffic.
+func TestMicroMigratoryClustering(t *testing.T) {
+	tr := MustWorkload("micro-migratory", 16)
+	r1, err := Run(tr, Baseline(1, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(tr, Baseline(4, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.BusTotal() >= r1.BusTotal() {
+		t.Fatalf("clustering should cut migratory traffic: %v vs %v",
+			r4.BusTotal(), r1.BusTotal())
+	}
+}
+
+// Read-shared data replicates at low pressure: after warm-up rounds, the
+// miss rate is low even unclustered, and high memory pressure destroys
+// exactly this pattern.
+func TestMicroReadSharedPressure(t *testing.T) {
+	tr := MustWorkload("micro-readshared", 16)
+	low, err := Run(tr, Baseline(1, MP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(tr, Baseline(1, MP87))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.RNMr() <= low.RNMr() {
+		t.Fatalf("pressure should hurt the read-shared pattern: %v vs %v",
+			high.RNMr(), low.RNMr())
+	}
+	if high.Protocol.SharedDrops == 0 {
+		t.Fatal("replication should be squeezed out at 87% MP")
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// A serialized-and-reloaded trace simulates identically to the original —
+// the disk cache path is equivalent to regeneration.
+func TestSerializedTraceRoundTripRun(t *testing.T) {
+	orig := MustWorkload("water-sp", 16)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Baseline(4, MP81)
+	a, err := Run(orig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(loaded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecTime != b.ExecTime || a.Reads != b.Reads ||
+		a.BusTotal() != b.BusTotal() || a.ReadNodeMisses != b.ReadNodeMisses {
+		t.Fatalf("reloaded trace diverges: %v/%v vs %v/%v",
+			a.ExecTime, a.BusTotal(), b.ExecTime, b.BusTotal())
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// Fig2Row is one application's relative read node miss rate at 6% memory
+// pressure: the RNMr of the clustered machine divided by the RNMr of the
+// single-processor-node machine (paper Figure 2).
+type Fig2Row struct {
+	App   string
+	RNMr1 float64 // absolute RNMr with 1-processor nodes
+	Rel2  float64 // 2-processor clusters relative to 1
+	Rel4  float64 // 4-processor clusters relative to 1
+}
+
+// Fig2 is the full figure plus the paper's headline averages (the paper
+// reports 82% for 2-way and 62% for 4-way clustering).
+type Fig2 struct {
+	Rows         []Fig2Row
+	Mean2, Mean4 float64
+}
+
+// Figure2 runs all 14 applications at 6% MP with 1, 2 and 4 processors
+// per node.
+func (r *Runner) Figure2() (*Fig2, error) {
+	f := &Fig2{}
+	var rel2s, rel4s []float64
+	for _, a := range apps.Registry {
+		var rnmr [3]float64
+		for i, ppn := range []int{1, 2, 4} {
+			res, err := r.Run(a.Name, config.Baseline(ppn, config.MP6))
+			if err != nil {
+				return nil, err
+			}
+			rnmr[i] = res.RNMr()
+		}
+		row := Fig2Row{
+			App:   a.Name,
+			RNMr1: rnmr[0],
+			Rel2:  stats.Ratio(rnmr[1], rnmr[0]),
+			Rel4:  stats.Ratio(rnmr[2], rnmr[0]),
+		}
+		f.Rows = append(f.Rows, row)
+		rel2s = append(rel2s, row.Rel2)
+		rel4s = append(rel4s, row.Rel4)
+	}
+	f.Mean2 = stats.Mean(rel2s)
+	f.Mean4 = stats.Mean(rel4s)
+	return f, nil
+}
+
+// Write renders the figure as a table with proportional bars.
+func (f *Fig2) Write(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 2: read node miss rate at 6% MP, relative to 1-processor nodes")
+	t := stats.NewTable("application", "RNMr(1p)", "2-way rel", "", "4-way rel", "")
+	for _, r := range f.Rows {
+		t.Row(r.App, fmt.Sprintf("%.4f", r.RNMr1),
+			stats.Pct(r.Rel2), stats.Bar(r.Rel2, 1, 20),
+			stats.Pct(r.Rel4), stats.Bar(r.Rel4, 1, 20))
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "average relative RNMr: 2-way %s (paper: 82%%), 4-way %s (paper: 62%%)\n",
+		stats.Pct(f.Mean2), stats.Pct(f.Mean4))
+	return nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// Fig5Bar is one execution-time bar: the mean per-processor time split
+// into busy, SLC stall, AM stall and remote stall (plus the
+// synchronization wait the paper folds away), normalized to the
+// application's 1-processor-node 50%-MP bar.
+type Fig5Bar struct {
+	App                         string
+	Label                       string
+	Busy, SLC, AM, Remote, Sync float64
+	ExecNs                      int64
+}
+
+// Total returns the normalized bar height.
+func (b Fig5Bar) Total() float64 { return b.Busy + b.SLC + b.AM + b.Remote + b.Sync }
+
+// Fig5 is the execution-time figure: for every application, 1p nodes at
+// 50% and 81% MP and 4p nodes at 81% MP, all with doubled DRAM bandwidth
+// as in the paper.
+type Fig5 struct {
+	Bars []Fig5Bar
+}
+
+// Figure5 runs the execution-time study.
+func (r *Runner) Figure5() (*Fig5, error) {
+	f := &Fig5{}
+	type cfgSpec struct {
+		label string
+		ppn   int
+		mp    config.Pressure
+	}
+	specs := []cfgSpec{
+		{"1p@50%", 1, config.MP50},
+		{"1p@81%", 1, config.MP81},
+		{"4p@81%", 4, config.MP81},
+	}
+	for _, a := range apps.Registry {
+		var base float64
+		for i, s := range specs {
+			res, err := r.Run(a.Name, config.Figure5(s.ppn, s.mp))
+			if err != nil {
+				return nil, err
+			}
+			b := res.Breakdown()
+			if i == 0 {
+				base = b.Total()
+			}
+			if base == 0 {
+				base = 1
+			}
+			f.Bars = append(f.Bars, Fig5Bar{
+				App:    a.Name,
+				Label:  s.label,
+				Busy:   b.Busy / base,
+				SLC:    b.SLC / base,
+				AM:     b.AM / base,
+				Remote: b.Remote / base,
+				Sync:   b.Sync / base,
+				ExecNs: int64(res.ExecTime),
+			})
+		}
+	}
+	return f, nil
+}
+
+// Chart renders the figure as grouped stacked bars in the paper's style:
+// busy '#', SLC '=', AM '+', remote '%', sync '~'. Bars are scaled so the
+// 1p@50% bar of each application spans half the width (the paper's y-axis
+// runs to 200%).
+func (f *Fig5) Chart(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 5: execution time (#=busy  ==SLC  +=AM  %=remote  ~=sync), 1p@50% = 100%")
+	lastApp := ""
+	for _, b := range f.Bars {
+		if b.App != lastApp {
+			fmt.Fprintf(w, "\n%s\n", b.App)
+			lastApp = b.App
+		}
+		bar := stats.StackedBar(80,
+			[]float64{b.Busy / 2, b.SLC / 2, b.AM / 2, b.Remote / 2, b.Sync / 2},
+			[]byte{'#', '=', '+', '%', '~'})
+		fmt.Fprintf(w, "  %-7s |%-80s| %s\n", b.Label, bar, stats.Pct(b.Total()))
+	}
+	return nil
+}
+
+// Write renders the figure.
+func (f *Fig5) Write(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 5: execution time breakdown (2x DRAM bandwidth),")
+	fmt.Fprintln(w, "normalized to each application's 1p@50% bar (sync reported separately)")
+	t := stats.NewTable("application", "cfg", "busy", "slc", "am", "remote", "sync", "total", "")
+	for _, b := range f.Bars {
+		t.Row(b.App, b.Label,
+			stats.Pct(b.Busy), stats.Pct(b.SLC), stats.Pct(b.AM),
+			stats.Pct(b.Remote), stats.Pct(b.Sync), stats.Pct(b.Total()),
+			stats.Bar(b.Total(), 2, 40))
+	}
+	return t.Write(w)
+}

@@ -1,0 +1,8 @@
+package experiments
+
+import "repro/internal/config"
+
+// baselineForTest is a cheap configuration shared by fast tests.
+func baselineForTest() config.Machine {
+	return config.Baseline(1, config.MP6)
+}

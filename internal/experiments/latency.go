@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// LatencyRow is one configuration's read-latency distribution over bands
+// anchored at the hierarchy's contention-free latencies (a band contains
+// both its level's clean hits and faster levels' queued accesses). The
+// tail and p99 show the Figure 5 mechanism: clustering trades long remote
+// latencies for moderate attraction-memory ones.
+type LatencyRow struct {
+	App    string
+	Label  string
+	L1     float64 // exactly 0 ns
+	SLC    float64 // (0, 32] ns
+	AM     float64 // (32, 148] ns
+	Remote float64 // (148, 332] ns
+	Queued float64 // > 332 ns
+	P99    int64   // 99th percentile bucket bound (-1 = overflow)
+}
+
+// Latency measures the distribution at 81% MP (2x DRAM bandwidth, the
+// Figure 5 machine) for single-processor and 4-processor nodes.
+func (r *Runner) Latency() ([]LatencyRow, error) {
+	var rows []LatencyRow
+	for _, a := range apps.Registry {
+		for _, ppn := range []int{1, 4} {
+			res, err := r.Run(a.Name, config.Figure5(ppn, config.MP81))
+			if err != nil {
+				return nil, err
+			}
+			h := &res.ReadLatency
+			total := float64(h.Total())
+			if total == 0 {
+				total = 1
+			}
+			frac := func(lo, hi int) float64 {
+				var n int64
+				for i := lo; i <= hi && i < len(h.Counts); i++ {
+					n += h.Counts[i]
+				}
+				return float64(n) / total
+			}
+			rows = append(rows, LatencyRow{
+				App:    a.Name,
+				Label:  fmt.Sprintf("%dp", ppn),
+				L1:     frac(0, 0),
+				SLC:    frac(1, 1),
+				AM:     frac(2, 2),
+				Remote: frac(3, 3),
+				Queued: frac(4, len(h.Counts)-1),
+				P99:    h.Quantile(0.99),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteLatency renders the distribution table.
+func WriteLatency(w io.Writer, rows []LatencyRow) error {
+	fmt.Fprintln(w, "Read-latency distribution at 81% MP (2x DRAM bandwidth):")
+	fmt.Fprintln(w, "fraction of reads per latency band (bands anchored at the")
+	fmt.Fprintln(w, "contention-free level latencies; queued accesses spill rightward)")
+	t := stats.NewTable("application", "cfg", "0ns", "(0,32]", "(32,148]", "(148,332]", ">332ns", "p99(ns)")
+	for _, r := range rows {
+		p99 := fmt.Sprint(r.P99)
+		if r.P99 < 0 {
+			p99 = ">21248"
+		}
+		t.Row(r.App, r.Label, stats.Pct(r.L1), stats.Pct(r.SLC), stats.Pct(r.AM),
+			stats.Pct(r.Remote), stats.Pct(r.Queued), p99)
+	}
+	return t.Write(w)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Rendering unit tests on synthetic data (no simulation runs).
+
+func TestSensWrite(t *testing.T) {
+	s := &Sens{
+		Title: "a study",
+		Note:  "a note",
+		Rows: []SensRow{
+			{App: "fft", Exec1Ns: 100, Exec4Ns: 150, Slowdown: 0.5},
+			{App: "radix", Exec1Ns: 100, Exec4Ns: 80, Slowdown: -0.2},
+		},
+	}
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "a study") || !strings.Contains(out, "a note") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "+50.0%") {
+		t.Fatalf("positive slowdown formatting: %q", out)
+	}
+	if !strings.Contains(out, "-20.0%") {
+		t.Fatalf("negative slowdown formatting: %q", out)
+	}
+}
+
+func TestWritePressureRendering(t *testing.T) {
+	rows := []PressureRow{{App: "fft", Exec6Ns: 100, Exec50Ns: 104, Gain: 0.042}}
+	var sb strings.Builder
+	if err := WritePressure(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "4.2%") {
+		t.Fatalf("output %q", sb.String())
+	}
+}
+
+func TestTrafficChartRendering(t *testing.T) {
+	f := &TrafficFigure{Figure: 3, Bars: []TrafficBar{
+		{App: "fft", ProcsPerNode: 1, MP: "6%", AMWays: 4, Read: 0.5, Write: 0.2},
+		{App: "fft", ProcsPerNode: 1, MP: "87%", AMWays: 8, Read: 0.3, Write: 0.1, Replace: 0.4},
+	}}
+	var sb strings.Builder
+	if err := f.Chart(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "8way") {
+		t.Fatalf("8-way label missing: %q", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "+") {
+		t.Fatal("stacked segments missing")
+	}
+}
+
+func TestLatencyWriteOverflowBucket(t *testing.T) {
+	rows := []LatencyRow{{App: "x", Label: "1p", L1: 1, P99: -1}}
+	var sb strings.Builder
+	if err := WriteLatency(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ">21248") {
+		t.Fatalf("overflow p99 formatting: %q", sb.String())
+	}
+}

@@ -1,0 +1,83 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 (applications), Figure 2 (relative read node miss
+// rates under clustering), Figures 3 and 4 (bus traffic by class across
+// memory pressures), Figure 5 (execution-time breakdowns) and the Section
+// 4.3 bandwidth sensitivity studies.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Runner generates workload traces once and memoizes simulation results,
+// since the figures share many configurations.
+type Runner struct {
+	// Procs is the machine size (the paper's is 16).
+	Procs int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+
+	traces  map[string]*trace.Trace
+	results map[runKey]*machine.Result
+}
+
+type runKey struct {
+	app string
+	cfg config.Machine
+}
+
+// NewRunner returns a Runner for the paper's 16-processor machine.
+func NewRunner() *Runner {
+	return &Runner{
+		Procs:   16,
+		traces:  make(map[string]*trace.Trace),
+		results: make(map[runKey]*machine.Result),
+	}
+}
+
+// Trace returns the (cached) reference trace of a workload.
+func (r *Runner) Trace(app string) (*trace.Trace, error) {
+	if tr, ok := r.traces[app]; ok {
+		return tr, nil
+	}
+	a, err := apps.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	tr := a.Generate(r.Procs)
+	r.traces[app] = tr
+	return tr, nil
+}
+
+// Run simulates one configuration, memoized.
+func (r *Runner) Run(app string, cfg config.Machine) (*machine.Result, error) {
+	key := runKey{app: app, cfg: cfg}
+	if res, ok := r.results[key]; ok {
+		return res, nil
+	}
+	tr, err := r.Trace(app)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(cfg.Params(tr.WorkingSet))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", app, err)
+	}
+	res, err := m.Run(tr)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", app, err)
+	}
+	r.results[key] = res
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "ran %-10s %dp/node mp=%-4s ways=%d dram=%.2g nc=%.2g bus=%.2g -> exec %v\n",
+			app, cfg.ProcsPerNode, cfg.Pressure.Label, cfg.AMWays,
+			cfg.DRAMBandwidth, cfg.NCBandwidth, cfg.BusBandwidth, res.ExecTime)
+	}
+	return res, nil
+}

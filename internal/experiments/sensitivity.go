@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// SensRow compares 4-way clustering against single-processor nodes for
+// one application under one bandwidth provisioning: Slowdown is
+// exec(4p) / exec(1p) - 1 (positive = clustering loses).
+type SensRow struct {
+	App      string
+	Exec1Ns  int64
+	Exec4Ns  int64
+	Slowdown float64
+}
+
+// Sens is one §4.3 sensitivity study.
+type Sens struct {
+	Title string
+	Note  string
+	Rows  []SensRow
+}
+
+func (r *Runner) clusterCompare(title, note string, mut func(*config.Machine)) (*Sens, error) {
+	s := &Sens{Title: title, Note: note}
+	for _, a := range apps.Registry {
+		cfg1 := config.Baseline(1, config.MP50)
+		cfg4 := config.Baseline(4, config.MP50)
+		mut(&cfg1)
+		mut(&cfg4)
+		res1, err := r.Run(a.Name, cfg1)
+		if err != nil {
+			return nil, err
+		}
+		res4, err := r.Run(a.Name, cfg4)
+		if err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, SensRow{
+			App:      a.Name,
+			Exec1Ns:  int64(res1.ExecTime),
+			Exec4Ns:  int64(res4.ExecTime),
+			Slowdown: stats.Ratio(float64(res4.ExecTime), float64(res1.ExecTime)) - 1,
+		})
+	}
+	return s, nil
+}
+
+// SensitivityDRAM reproduces §4.3's DRAM-bandwidth observation: at 50% MP
+// with baseline DRAM, several applications degrade under 4-way
+// clustering; doubling the DRAM bandwidth leaves only the most
+// node-contention-bound ones (paper: LU-non 17.8%, Radix 12.7%,
+// Ocean-non 5.5%) slower.
+func (r *Runner) SensitivityDRAM() ([]*Sens, error) {
+	s1, err := r.clusterCompare(
+		"4-way clustering at 50% MP, baseline DRAM bandwidth",
+		"paper: 5 of 14 applications significantly degraded",
+		func(c *config.Machine) { c.DRAMBandwidth = 1 })
+	if err != nil {
+		return nil, err
+	}
+	s2, err := r.clusterCompare(
+		"4-way clustering at 50% MP, 2x DRAM bandwidth",
+		"paper: only LU-non (17.8%), Radix (12.7%), Ocean-non (5.5%) still degraded",
+		func(c *config.Machine) { c.DRAMBandwidth = 2 })
+	if err != nil {
+		return nil, err
+	}
+	return []*Sens{s1, s2}, nil
+}
+
+// SensitivityNode reproduces §4.3's provisioned-node observation: with 4x
+// DRAM bandwidth and 2x node-controller bandwidth, all applications
+// except the non-optimized LU perform at least as well clustered as with
+// single-processor nodes, even at 50% MP.
+func (r *Runner) SensitivityNode() (*Sens, error) {
+	return r.clusterCompare(
+		"4-way clustering at 50% MP, 4x DRAM + 2x node-controller bandwidth",
+		"paper: all applications except LU-non similar or better with clustering",
+		func(c *config.Machine) { c.DRAMBandwidth = 4; c.NCBandwidth = 2 })
+}
+
+// SensitivityBus reproduces §4.3's bus observation: halving the global bus
+// bandwidth makes clustering more attractive because remote accesses get
+// more expensive (largest effect for Barnes, FFT and LU-non).
+func (r *Runner) SensitivityBus() ([]*Sens, error) {
+	full, err := r.clusterCompare(
+		"4-way clustering at 50% MP, 2x DRAM, full bus bandwidth",
+		"reference for the halved-bus comparison",
+		func(c *config.Machine) { c.DRAMBandwidth = 2 })
+	if err != nil {
+		return nil, err
+	}
+	half, err := r.clusterCompare(
+		"4-way clustering at 50% MP, 2x DRAM, HALVED bus bandwidth",
+		"paper: clustering becomes even more efficient; largest for Barnes, FFT, LU-non",
+		func(c *config.Machine) { c.DRAMBandwidth = 2; c.BusBandwidth = 0.5 })
+	if err != nil {
+		return nil, err
+	}
+	return []*Sens{full, half}, nil
+}
+
+// PressureRow is one application's penalty for running at 50% instead of
+// 6% memory pressure (single-processor nodes).
+type PressureRow struct {
+	App               string
+	Exec6Ns, Exec50Ns int64
+	// Gain is exec(50%)/exec(6%) - 1: how much faster 6% MP would be.
+	Gain float64
+}
+
+// SensitivityPressure reproduces §4.3's baseline justification: dropping
+// from 50% to 6% MP buys only marginal performance (FFT, the most
+// sensitive application, improves 4.2% in the paper).
+func (r *Runner) SensitivityPressure() ([]PressureRow, error) {
+	var rows []PressureRow
+	for _, a := range apps.Registry {
+		res6, err := r.Run(a.Name, config.Figure5(1, config.MP6))
+		if err != nil {
+			return nil, err
+		}
+		res50, err := r.Run(a.Name, config.Figure5(1, config.MP50))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PressureRow{
+			App:      a.Name,
+			Exec6Ns:  int64(res6.ExecTime),
+			Exec50Ns: int64(res50.ExecTime),
+			Gain:     stats.Ratio(float64(res50.ExecTime), float64(res6.ExecTime)) - 1,
+		})
+	}
+	return rows, nil
+}
+
+// Write renders a sensitivity study.
+func (s *Sens) Write(w io.Writer) error {
+	fmt.Fprintln(w, s.Title)
+	fmt.Fprintln(w, " ", s.Note)
+	t := stats.NewTable("application", "exec 1p(ns)", "exec 4p(ns)", "4p vs 1p")
+	for _, r := range s.Rows {
+		sign := "+"
+		if r.Slowdown < 0 {
+			sign = ""
+		}
+		t.Row(r.App, r.Exec1Ns, r.Exec4Ns, fmt.Sprintf("%s%.1f%%", sign, 100*r.Slowdown))
+	}
+	return t.Write(w)
+}
+
+// WritePressure renders the pressure-sensitivity table.
+func WritePressure(w io.Writer, rows []PressureRow) error {
+	fmt.Fprintln(w, "Memory-pressure sensitivity: 1p nodes, 6% vs 50% MP (2x DRAM bandwidth)")
+	fmt.Fprintln(w, "  paper: FFT most sensitive, 4.2% faster at 6% MP")
+	t := stats.NewTable("application", "exec 6%(ns)", "exec 50%(ns)", "50% penalty")
+	for _, r := range rows {
+		t.Row(r.App, r.Exec6Ns, r.Exec50Ns, fmt.Sprintf("%.1f%%", 100*r.Gain))
+	}
+	return t.Write(w)
+}
+
+// Apps returns the registry names (convenience for callers that iterate).
+func Apps() []string { return apps.Names() }

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/stats"
+)
+
+// Table1Row describes one application: the paper's input and working set
+// next to our scaled substitute.
+type Table1Row struct {
+	App          string
+	Title        string
+	PaperProblem string
+	PaperWSMB    float64
+	OurProblem   string
+	OurWSKB      uint64
+	Reads        int64
+	Writes       int64
+}
+
+// Table1 reproduces the paper's application table with our scaled inputs.
+func (r *Runner) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, a := range apps.Registry {
+		tr, err := r.Trace(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		s := tr.Summarize()
+		rows = append(rows, Table1Row{
+			App:          a.Name,
+			Title:        a.Title,
+			PaperProblem: a.PaperProblem,
+			PaperWSMB:    a.PaperWS,
+			OurProblem:   a.Problem,
+			OurWSKB:      tr.WorkingSet / 1024,
+			Reads:        s.Reads,
+			Writes:       s.Writes,
+		})
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders the table.
+func WriteTable1(w io.Writer, rows []Table1Row) error {
+	t := stats.NewTable("application", "description", "paper problem", "paper WS(MB)",
+		"our problem", "our WS(KB)", "reads", "writes")
+	for _, r := range rows {
+		t.Row(r.App, r.Title, r.PaperProblem, r.PaperWSMB, r.OurProblem, r.OurWSKB, r.Reads, r.Writes)
+	}
+	return t.Write(w)
+}

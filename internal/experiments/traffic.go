@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// TrafficBar is one bar of Figures 3/4: global bus traffic (occupancy) of
+// a configuration split by transaction class, normalized to the largest
+// bar of the same application (the paper normalizes each application's
+// group to 100%).
+type TrafficBar struct {
+	App          string
+	ProcsPerNode int
+	MP           string
+	AMWays       int
+	// Normalized segments (fractions of the application's max bar).
+	Read, Write, Replace float64
+	// TotalNs is the raw bus occupancy.
+	TotalNs int64
+}
+
+// Total returns the normalized bar height.
+func (b TrafficBar) Total() float64 { return b.Read + b.Write + b.Replace }
+
+// TrafficFigure is Figure 3 (the eight consistently-helped applications)
+// or Figure 4 (the six conflict-sensitive ones, with extra 8-way bars at
+// 87% MP).
+type TrafficFigure struct {
+	Figure int
+	Bars   []TrafficBar
+}
+
+// Figure3 produces traffic bars for the Figure 3 group: 1- and 4-processor
+// nodes at 6/50/75/81/87% MP.
+func (r *Runner) Figure3() (*TrafficFigure, error) {
+	return r.traffic(3, apps.Group(apps.GroupFig3), false)
+}
+
+// Figure4 produces the same bars for the Figure 4 group, plus 8-way
+// associativity bars at 87% MP for both clusterings.
+func (r *Runner) Figure4() (*TrafficFigure, error) {
+	return r.traffic(4, apps.Group(apps.GroupFig4), true)
+}
+
+func (r *Runner) traffic(fig int, group []apps.App, eightWay bool) (*TrafficFigure, error) {
+	f := &TrafficFigure{Figure: fig}
+	for _, a := range group {
+		var bars []TrafficBar
+		for _, ppn := range []int{1, 4} {
+			for _, mp := range config.Pressures {
+				res, err := r.Run(a.Name, config.Baseline(ppn, mp))
+				if err != nil {
+					return nil, err
+				}
+				bars = append(bars, bar(a.Name, ppn, mp.Label, 4, res))
+			}
+			if eightWay {
+				cfg := config.Baseline(ppn, config.MP87)
+				cfg.AMWays = 8
+				res, err := r.Run(a.Name, cfg)
+				if err != nil {
+					return nil, err
+				}
+				bars = append(bars, bar(a.Name, ppn, "87%", 8, res))
+			}
+		}
+		normalize(bars)
+		f.Bars = append(f.Bars, bars...)
+	}
+	return f, nil
+}
+
+func bar(app string, ppn int, mp string, ways int, res *machine.Result) TrafficBar {
+	return TrafficBar{
+		App:          app,
+		ProcsPerNode: ppn,
+		MP:           mp,
+		AMWays:       ways,
+		Read:         float64(res.BusOccupancy[0]),
+		Write:        float64(res.BusOccupancy[1]),
+		Replace:      float64(res.BusOccupancy[2]),
+		TotalNs:      int64(res.BusTotal()),
+	}
+}
+
+// normalize scales one application's bars so its tallest bar is 1.
+func normalize(bars []TrafficBar) {
+	var max float64
+	for _, b := range bars {
+		if t := b.Read + b.Write + b.Replace; t > max {
+			max = t
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for i := range bars {
+		bars[i].Read /= max
+		bars[i].Write /= max
+		bars[i].Replace /= max
+	}
+}
+
+// Chart renders the figure as grouped stacked bars, one group per
+// application, in the paper's visual style: read '#', write '=',
+// replacement '+', each bar scaled to the application's tallest.
+func (f *TrafficFigure) Chart(w io.Writer) error {
+	fmt.Fprintf(w, "Figure %d: bus traffic per application (#=read  ==write  +=replace)\n", f.Figure)
+	lastApp := ""
+	for _, b := range f.Bars {
+		if b.App != lastApp {
+			fmt.Fprintf(w, "\n%s\n", b.App)
+			lastApp = b.App
+		}
+		label := fmt.Sprintf("%dp %-4s", b.ProcsPerNode, b.MP)
+		if b.AMWays != 4 {
+			label = fmt.Sprintf("%dp %-4s %dway", b.ProcsPerNode, b.MP, b.AMWays)
+		}
+		bar := stats.StackedBar(50,
+			[]float64{b.Read, b.Write, b.Replace},
+			[]byte{'#', '=', '+'})
+		fmt.Fprintf(w, "  %-13s |%-50s| %s\n", label, bar, stats.Pct(b.Total()))
+	}
+	return nil
+}
+
+// Write renders the figure.
+func (f *TrafficFigure) Write(w io.Writer) error {
+	fmt.Fprintf(w, "Figure %d: bus traffic by class, normalized per application\n", f.Figure)
+	t := stats.NewTable("application", "cfg", "MP", "ways", "read", "write", "replace", "total", "")
+	for _, b := range f.Bars {
+		t.Row(b.App, fmt.Sprintf("%dp", b.ProcsPerNode), b.MP, b.AMWays,
+			stats.Pct(b.Read), stats.Pct(b.Write), stats.Pct(b.Replace),
+			stats.Pct(b.Total()), stats.Bar(b.Total(), 1, 30))
+	}
+	return t.Write(w)
+}

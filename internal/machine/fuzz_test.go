@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addrspace"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// randomTrace builds a structurally valid random workload: mixed reads,
+// writes, computes, lock pairs and barriers over a bounded address range.
+func randomTrace(rng *rand.Rand, procs int) *trace.Trace {
+	b := trace.NewBuilder("fuzz", procs)
+	lines := 64 + rng.Intn(192)
+	addr := func() addrspace.Addr {
+		return addrspace.Addr(0x10000 + rng.Intn(lines)*addrspace.LineSize +
+			rng.Intn(addrspace.LineSize/4)*4)
+	}
+	lockAddr := func(id uint32) addrspace.Addr {
+		return addrspace.Addr(0x800000 + int(id)*addrspace.LineSize)
+	}
+	// Untimed init by processor 0.
+	for i := 0; i < lines; i++ {
+		b.Write(0, addrspace.Addr(0x10000+i*addrspace.LineSize))
+	}
+	b.Barrier()
+	b.MeasureStart()
+	phases := 1 + rng.Intn(4)
+	for ph := 0; ph < phases; ph++ {
+		for p := 0; p < procs; p++ {
+			n := rng.Intn(200)
+			for i := 0; i < n; i++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4:
+					b.Read(p, addr())
+				case 5, 6, 7:
+					b.Write(p, addr())
+				case 8:
+					b.Compute(p, engine.Time(rng.Intn(100)))
+				case 9:
+					id := uint32(rng.Intn(4))
+					b.Acquire(p, id, lockAddr(id))
+					b.Read(p, addr())
+					b.Write(p, addr())
+					b.Release(p, id, lockAddr(id))
+				}
+			}
+		}
+		b.Barrier()
+	}
+	return b.Build(uint64(lines * addrspace.LineSize * 4))
+}
+
+// Fuzz: random workloads complete without deadlock, preserve all machine
+// and protocol invariants, and satisfy the accounting identity
+// (attributed time never exceeds the processor's finish time).
+func TestMachineFuzz(t *testing.T) {
+	prop := func(seed int64, ppnSel uint8, inclusive bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 8
+		ppn := []int{1, 2, 4}[int(ppnSel)%3]
+		tr := randomTrace(rng, procs)
+		params := DefaultParams(procs, ppn, 2048, 8*1024)
+		params.L1Bytes = 512
+		params.Inclusive = inclusive
+		m, err := New(params)
+		if err != nil {
+			t.Logf("new: %v", err)
+			return false
+		}
+		res, err := m.Run(tr)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if err := m.CheckState(); err != nil {
+			t.Logf("state: %v", err)
+			return false
+		}
+		for i, ps := range res.Procs {
+			if ps.Total() > ps.Finish {
+				t.Logf("proc %d: attributed %v > finish %v", i, ps.Total(), ps.Finish)
+				return false
+			}
+		}
+		if res.Protocol.ForcedDrops != 0 {
+			// Capacity is ample (8 KB AM per proc vs <16 KB footprint
+			// over 8 procs); forced drops would signal a protocol bug.
+			t.Logf("forced drops: %d", res.Protocol.ForcedDrops)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same fuzzing against the machine's non-default policies.
+func TestMachinePolicyFuzz(t *testing.T) {
+	prop := func(seed int64, pbits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 8)
+		params := DefaultParams(8, 4, 2048, 4*1024)
+		params.L1Bytes = 512
+		params.Policy.VictimSharedFirst = pbits&1 != 0
+		params.Policy.PromoteOwnership = pbits&2 != 0
+		params.Policy.AcceptPriority = pbits&4 != 0
+		params.Policy.WriteUpdate = pbits&8 != 0
+		m, err := New(params)
+		if err != nil {
+			return false
+		}
+		if _, err := m.Run(tr); err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		return m.CheckState() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

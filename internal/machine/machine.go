@@ -1,0 +1,740 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+	"repro/internal/coma"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// Private-cache states. The L1 is write-through into the SLC and carries
+// only a valid bit; the SLC is write-back with write-allocate: a store
+// that owns its line (SLC dirty, AM Exclusive) completes locally, so
+// repeated stores to a line cost one AM access, not one per store.
+const (
+	cacheValid cache.State = 1 // clean: readable, a store must upgrade
+	cacheDirty cache.State = 2 // writable: AM state is Exclusive
+)
+
+// nodeRes bundles the shared per-node resources: the node controller
+// (state & tag pipeline) and the attraction-memory DRAM.
+type nodeRes struct {
+	nc   *engine.Resource
+	dram *engine.Resource
+}
+
+// wbEntry is an in-flight write drain.
+type wbEntry struct {
+	done  engine.Time
+	class StallClass
+}
+
+// proc is one simulated processor.
+type proc struct {
+	id, node int
+	t        engine.Time
+	refs     []trace.Ref
+	pc       int
+
+	l1, slc *cache.Cache
+	slcRes  *engine.Resource
+
+	// Write buffer (release consistency): FIFO of in-flight drains.
+	wb       []wbEntry
+	wbLast   engine.Time // completion of the most recently issued drain
+	blocked  bool
+	blockAt  engine.Time
+	done     bool
+	start    engine.Time // measured-section start
+	finished engine.Time
+
+	st ProcStats
+}
+
+// lockState serializes a spin lock.
+type lockState struct {
+	held    bool
+	holder  int
+	freeAt  engine.Time
+	waiters []int
+}
+
+// barrierState tracks the single in-flight global barrier (streams are
+// SPMD: every processor executes the same barrier sequence).
+type barrierState struct {
+	id       uint32
+	active   bool
+	arrived  []int
+	arriveAt []engine.Time
+	measure  bool
+}
+
+// MemSystem abstracts the node-level memory system below the second-level
+// caches. The default implementation is the bus-based COMA protocol; the
+// CC-NUMA baseline in internal/numa provides a home-based alternative for
+// ablation studies.
+type MemSystem interface {
+	// Read and Write perform an SLC-missing access by a node and report
+	// its effects (hit/cold/bus transactions).
+	Read(node int, l addrspace.Line) coma.Effect
+	Write(node int, l addrspace.Line) coma.Effect
+	// WriteBack retires a dirty SLC line to the memory system.
+	WriteBack(node int, l addrspace.Line) coma.Effect
+	// Stats and ResetStats expose protocol-level counters.
+	Stats() coma.Stats
+	ResetStats()
+}
+
+// comaMem adapts the COMA protocol to MemSystem.
+type comaMem struct{ p *coma.Protocol }
+
+func (c comaMem) Read(node int, l addrspace.Line) coma.Effect  { return c.p.Read(node, l) }
+func (c comaMem) Write(node int, l addrspace.Line) coma.Effect { return c.p.Write(node, l) }
+func (c comaMem) WriteBack(node int, l addrspace.Line) coma.Effect {
+	// The attraction memory holds the line (inclusion): a local DRAM
+	// write, no global transaction.
+	return coma.Effect{Hit: true}
+}
+func (c comaMem) Stats() coma.Stats { return c.p.Stats() }
+func (c comaMem) ResetStats()       { c.p.ResetStats() }
+
+// Machine simulates one configuration.
+type Machine struct {
+	params Params
+	prot   *coma.Protocol
+	mem    MemSystem
+	bus    *engine.Resource
+	nodes  []*nodeRes
+	procs  []*proc
+	locks  map[uint32]*lockState
+	bar    barrierState
+
+	occDRAM, occNC, occBus engine.Time
+
+	measuring      bool
+	reads          int64
+	readNodeMisses int64
+	busOcc         [3]engine.Time
+	writeBacks     int64
+	dirtyPurges    int64
+	latency        LatencyHist
+}
+
+// New builds a machine with the paper's bus-based COMA memory system.
+func New(p Params) (*Machine, error) { return NewWithMem(p, nil) }
+
+// NewWithMem builds a machine with a custom memory system; buildMem
+// receives the machine's purge and downgrade callbacks so the alternative
+// system can keep the private caches coherent. A nil buildMem selects the
+// COMA protocol.
+func NewWithMem(p Params, buildMem func(purge func(node int, l addrspace.Line, evict bool), downgrade func(node int, l addrspace.Line)) MemSystem) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		params:  p,
+		bus:     engine.NewResource("bus"),
+		locks:   make(map[uint32]*lockState),
+		occDRAM: occupancy(DefaultDRAMTime, p.DRAMBandwidth),
+		occNC:   occupancy(DefaultNCTime, p.NCBandwidth),
+		occBus:  occupancy(DefaultBusPhase, p.BusBandwidth),
+	}
+	nodes := p.Nodes()
+	amSets := oddSets(p.AMBytesPerProc*p.ProcsPerNode, p.AMWays)
+	if buildMem == nil {
+		m.prot = coma.NewProtocol(coma.Config{
+			Nodes:     nodes,
+			SetsPerAM: amSets,
+			Ways:      p.AMWays,
+			Policy:    p.Policy,
+			PolicySet: true,
+			Purge:     m.onPurge,
+			Downgrade: m.onDowngrade,
+		})
+		m.mem = comaMem{p: m.prot}
+	} else {
+		m.mem = buildMem(m.onPurge, m.onDowngrade)
+	}
+	m.nodes = make([]*nodeRes, nodes)
+	for n := range m.nodes {
+		m.nodes[n] = &nodeRes{
+			nc:   engine.NewResource(fmt.Sprintf("nc%d", n)),
+			dram: engine.NewResource(fmt.Sprintf("dram%d", n)),
+		}
+	}
+	l1Sets := oddSets(p.L1Bytes, 1)
+	slcSets := oddSets(p.SLCBytes, 4)
+	m.procs = make([]*proc, p.Procs)
+	for i := range m.procs {
+		m.procs[i] = &proc{
+			id:     i,
+			node:   i / p.ProcsPerNode,
+			l1:     cache.New(cache.Config{Name: fmt.Sprintf("l1-%d", i), Sets: l1Sets, Ways: 1}),
+			slc:    cache.New(cache.Config{Name: fmt.Sprintf("slc-%d", i), Sets: slcSets, Ways: 4}),
+			slcRes: engine.NewResource(fmt.Sprintf("slcres-%d", i)),
+		}
+	}
+	return m, nil
+}
+
+// Protocol exposes the protocol for tests and tools.
+func (m *Machine) Protocol() *coma.Protocol { return m.prot }
+
+// onPurge keeps private caches included in the AM: any AM line loss purges
+// the node's L1s and SLCs, except replacement evictions in the
+// non-inclusive variant. A purged dirty SLC line is flushed with the
+// departing AM line (counted; its data rides the replacement transaction).
+func (m *Machine) onPurge(node int, l addrspace.Line, evict bool) {
+	if evict && !m.params.Inclusive {
+		return
+	}
+	first := node * m.params.ProcsPerNode
+	for i := first; i < first+m.params.ProcsPerNode; i++ {
+		m.procs[i].l1.Invalidate(l)
+		if st, ok := m.procs[i].slc.Lookup(l); ok && st == cacheDirty {
+			m.dirtyPurges++
+		}
+		m.procs[i].slc.Invalidate(l)
+	}
+}
+
+// onDowngrade revokes write permission in the supplying node's private
+// caches when its Exclusive AM line becomes Owner.
+func (m *Machine) onDowngrade(node int, l addrspace.Line) {
+	first := node * m.params.ProcsPerNode
+	for i := first; i < first+m.params.ProcsPerNode; i++ {
+		if st, ok := m.procs[i].slc.Lookup(l); ok && st == cacheDirty {
+			m.procs[i].slc.SetState(l, cacheValid)
+		}
+	}
+}
+
+// Run simulates the trace to completion and returns the measured-section
+// result. The machine is single-use: Run may only be called once.
+func (m *Machine) Run(tr *trace.Trace) (*Result, error) {
+	if tr.Procs != m.params.Procs {
+		return nil, fmt.Errorf("machine: trace has %d procs, machine %d", tr.Procs, m.params.Procs)
+	}
+	for i, p := range m.procs {
+		p.refs = tr.Streams[i]
+	}
+	for {
+		p := m.next()
+		if p == nil {
+			break
+		}
+		m.step(p)
+	}
+	for _, p := range m.procs {
+		if !p.done {
+			return nil, fmt.Errorf("machine: deadlock — proc %d blocked at pc %d (%s)",
+				p.id, p.pc, refAt(p))
+		}
+	}
+	if !m.measuring {
+		return nil, fmt.Errorf("machine: trace never reached MeasureStart")
+	}
+	return m.result(), nil
+}
+
+func refAt(p *proc) string {
+	if p.pc < len(p.refs) {
+		return p.refs[p.pc].Kind.String()
+	}
+	return "end"
+}
+
+// next picks the runnable processor with the smallest local clock.
+func (m *Machine) next() *proc {
+	var best *proc
+	for _, p := range m.procs {
+		if p.done || p.blocked {
+			continue
+		}
+		if best == nil || p.t < best.t {
+			best = p
+		}
+	}
+	return best
+}
+
+// step executes one trace record for p.
+func (m *Machine) step(p *proc) {
+	if p.pc >= len(p.refs) {
+		// Released from a final barrier with nothing left to run.
+		m.finish(p)
+		return
+	}
+	r := p.refs[p.pc]
+	switch r.Kind {
+	case trace.Compute:
+		if m.measuring {
+			p.st.Busy += r.Dur
+		}
+		p.t += r.Dur
+		p.pc++
+	case trace.Read:
+		m.doRead(p, r.Addr)
+		p.pc++
+	case trace.Write:
+		m.doWrite(p, r.Addr)
+		p.pc++
+	case trace.Acquire:
+		if !m.doAcquire(p, r) {
+			return // blocked; retry the same record when woken
+		}
+		p.pc++
+	case trace.Release:
+		m.doRelease(p, r)
+		p.pc++
+	case trace.Barrier, trace.MeasureStart:
+		p.pc++
+		m.doBarrier(p, r)
+	default:
+		panic(fmt.Sprintf("machine: unknown ref kind %d", r.Kind))
+	}
+	if !p.blocked && p.pc >= len(p.refs) {
+		m.finish(p)
+	}
+}
+
+// finish marks a processor complete, folding outstanding write-buffer
+// drains into its finish time.
+func (m *Machine) finish(p *proc) {
+	p.done = true
+	p.finished = engine.Max(p.t, p.wbLast)
+	if m.measuring {
+		p.st.Finish = p.finished - p.start
+	}
+}
+
+// doRead services a blocking load.
+func (m *Machine) doRead(p *proc, a addrspace.Addr) {
+	if m.measuring {
+		p.st.Reads++
+		m.reads++
+	}
+	l := addrspace.LineOf(a)
+	if _, ok := p.l1.Touch(l); ok {
+		if m.measuring {
+			m.latency.add(0) // L1 hit: 0 ns (paper)
+		}
+		return
+	}
+	t0 := p.t
+	if _, ok := p.slc.Touch(l); ok {
+		start := p.slcRes.Claim(p.t, DefaultSLCHit)
+		p.t = start + DefaultSLCHit
+		p.l1.Insert(l, cacheValid)
+		m.stall(p, StallSLC, p.t-t0)
+		if m.measuring {
+			m.latency.add(p.t - t0)
+		}
+		return
+	}
+	eff := m.mem.Read(p.node, l)
+	done, class := m.charge(p.node, p.slcRes, p.t, eff)
+	p.t = done
+	p.l1.Insert(l, cacheValid)
+	m.slcInsert(p, l, cacheValid)
+	if m.measuring {
+		if !eff.Hit && !eff.Cold {
+			m.readNodeMisses++
+		}
+		m.latency.add(p.t - t0)
+	}
+	m.stall(p, class, p.t-t0)
+}
+
+// slcInsert fills the SLC, writing back a displaced dirty victim to the
+// attraction memory (off the critical path) and keeping the L1 included.
+func (m *Machine) slcInsert(p *proc, l addrspace.Line, st cache.State) {
+	victim, evicted := p.slc.Insert(l, st)
+	if !evicted {
+		return
+	}
+	p.l1.Invalidate(victim.Line)
+	if victim.State == cacheDirty {
+		m.writeBacks++
+		eff := m.mem.WriteBack(p.node, victim.Line)
+		m.chargeAsync(p.node, eff, p.t)
+	}
+}
+
+// chargeAsync accounts an off-critical-path memory-system action (e.g. a
+// dirty write-back) starting around time at: resources are occupied but no
+// processor waits.
+func (m *Machine) chargeAsync(node int, eff coma.Effect, at engine.Time) {
+	if len(eff.Txns) == 0 {
+		// Node-local: controller plus DRAM.
+		nr := m.nodes[node]
+		start := nr.nc.Claim(at, m.occNC)
+		nr.dram.Claim(start+DefaultNCTime, m.occDRAM)
+		return
+	}
+	for _, txn := range eff.Txns {
+		phases := engine.Time(1)
+		if txn.Data {
+			phases = 2
+		}
+		start := m.bus.Claim(at, phases*m.occBus)
+		m.traffic(txn.Class, phases*m.occBus)
+		if txn.Remote >= 0 {
+			rn := m.nodes[txn.Remote]
+			s2 := rn.nc.Claim(start+phases*DefaultBusPhase, m.occNC)
+			rn.dram.Claim(s2+DefaultNCTime, m.occDRAM)
+		}
+	}
+}
+
+func (m *Machine) stall(p *proc, c StallClass, d engine.Time) {
+	if m.measuring && d > 0 {
+		p.st.Stall[c] += d
+	}
+}
+
+// doWrite retires a store. A store whose line is already writable (SLC
+// dirty, AM Exclusive) completes in the SLC; otherwise it needs an
+// AM-level action (allocate/upgrade/fetch-exclusive) which drains through
+// the write buffer — the processor stalls only when the buffer is full
+// (release consistency).
+func (m *Machine) doWrite(p *proc, a addrspace.Addr) {
+	if m.measuring {
+		p.st.Writes++
+	}
+	l := addrspace.LineOf(a)
+	p.l1.Touch(l) // L1 is write-through into the SLC
+	if st, ok := p.slc.Touch(l); ok && st == cacheDirty {
+		p.slcRes.Claim(p.t, DefaultSLCWrite) // write-port pressure only
+		if !m.params.Policy.WriteUpdate {
+			m.invalidateSiblings(p, l)
+		}
+		return
+	}
+	// Retire completed drains, then stall if still full.
+	p.retireDrains()
+	if len(p.wb) >= m.params.WriteBufferDepth {
+		head := p.wb[0]
+		m.stall(p, head.class, head.done-p.t)
+		p.t = head.done
+		p.retireDrains()
+	}
+	// Compute this drain's service eagerly (drains are FIFO).
+	start := engine.Max(p.t, p.wbLast)
+	eff := m.mem.Write(p.node, l)
+	done, class := m.charge(p.node, p.slcRes, start, eff)
+	p.wbLast = done
+	p.wb = append(p.wb, wbEntry{done: done, class: class})
+	// Write-allocate; the SLC copy is writable only when the memory
+	// system granted exclusivity (always under invalidation; only for
+	// sole copies under the update policy).
+	st := cacheValid
+	if eff.Writable {
+		st = cacheDirty
+	}
+	m.slcInsert(p, l, st)
+	p.l1.Insert(l, cacheValid)
+	if !m.params.Policy.WriteUpdate {
+		// Update-policy stores refresh sibling copies in place; the
+		// invalidation protocol kills them.
+		m.invalidateSiblings(p, l)
+	}
+}
+
+// invalidateSiblings models the free intra-node snoop: a store invalidates
+// the line in the other same-node processors' private caches.
+func (m *Machine) invalidateSiblings(p *proc, l addrspace.Line) {
+	first := p.node * m.params.ProcsPerNode
+	for i := first; i < first+m.params.ProcsPerNode; i++ {
+		if i == p.id {
+			continue
+		}
+		m.procs[i].l1.Invalidate(l)
+		m.procs[i].slc.Invalidate(l)
+	}
+}
+
+func (p *proc) retireDrains() {
+	for len(p.wb) > 0 && p.wb[0].done <= p.t {
+		p.wb = p.wb[1:]
+	}
+}
+
+// drainAll blocks p until its write buffer is empty (release semantics),
+// charging the wait to Sync.
+func (m *Machine) drainAll(p *proc) {
+	if p.wbLast > p.t {
+		if m.measuring {
+			p.st.Sync += p.wbLast - p.t
+		}
+		p.t = p.wbLast
+	}
+	p.wb = p.wb[:0]
+}
+
+// charge walks an attraction-memory access through the timing model,
+// claiming resource occupancy, and returns the completion time plus the
+// stall class (AM for node-local service, Remote when the bus supplied
+// data on the critical path).
+//
+// Contention-free latencies reproduce the paper's: AM hit 24+24+100 =
+// 148 ns; remote 24+24+20+24+100+20+100+20 = 332 ns with the bus occupied
+// 2x20 ns.
+func (m *Machine) charge(node int, slcRes *engine.Resource, at engine.Time, eff coma.Effect) (engine.Time, StallClass) {
+	nr := m.nodes[node]
+	// SLC miss detection / update.
+	start := slcRes.Claim(at, DefaultSLCMissDetect)
+	t := start + DefaultSLCMissDetect
+	// Local node controller: state & tag check.
+	start = nr.nc.Claim(t, m.occNC)
+	t = start + DefaultNCTime
+
+	remote := false
+	for _, txn := range eff.Txns {
+		switch {
+		case txn.Class == coma.TxnReplace:
+			// Replacements ride buffers off the critical path; they
+			// occupy the bus and the receiver's resources.
+			m.chargeReplace(txn, t)
+		case txn.Data && txn.Remote < 0:
+			// Data broadcast (update-policy write): one bus transfer,
+			// absorbed by the snooping sharers.
+			remote = true
+			start = m.bus.Claim(t, 2*m.occBus)
+			m.traffic(txn.Class, 2*m.occBus)
+			t = start + 2*DefaultBusPhase
+		case txn.Data:
+			// Request/response data transfer on the critical path.
+			remote = true
+			start = m.bus.Claim(t, m.occBus)
+			m.traffic(txn.Class, m.occBus)
+			t = start + DefaultBusPhase
+			rn := m.nodes[txn.Remote]
+			start = rn.nc.Claim(t, m.occNC)
+			t = start + DefaultNCTime
+			start = rn.dram.Claim(t, m.occDRAM)
+			t = start + DefaultDRAMTime
+			start = m.bus.Claim(t, m.occBus)
+			m.traffic(txn.Class, m.occBus)
+			t = start + DefaultBusPhase
+		default:
+			// Address-only invalidation broadcast on the critical path.
+			start = m.bus.Claim(t, m.occBus)
+			m.traffic(txn.Class, m.occBus)
+			t = start + DefaultBusPhase
+		}
+	}
+	// Local DRAM: data read on a hit, line insertion on a fill, data
+	// store on a write. A memory system without local installation
+	// (CC-NUMA remote fetches) skips this stage.
+	if !eff.NoLocalFill {
+		start = nr.dram.Claim(t, m.occDRAM)
+		t = start + DefaultDRAMTime
+	}
+	if remote {
+		t += DefaultRemotePad
+		return t, StallRemote
+	}
+	return t, StallAM
+}
+
+// chargeReplace accounts a replacement transaction starting around time t:
+// injections move a data line (two bus phases, receiver NC + DRAM);
+// ownership promotions are a single address-only phase.
+func (m *Machine) chargeReplace(txn coma.Txn, t engine.Time) {
+	if !txn.Data {
+		m.bus.Claim(t, m.occBus)
+		m.traffic(coma.TxnReplace, m.occBus)
+		return
+	}
+	start := m.bus.Claim(t, 2*m.occBus)
+	m.traffic(coma.TxnReplace, 2*m.occBus)
+	rn := m.nodes[txn.Remote]
+	start = rn.nc.Claim(start+2*DefaultBusPhase, m.occNC)
+	rn.dram.Claim(start+DefaultNCTime, m.occDRAM)
+}
+
+func (m *Machine) traffic(c coma.TxnClass, occ engine.Time) {
+	if m.measuring {
+		m.busOcc[c] += occ
+	}
+}
+
+func (m *Machine) lock(id uint32) *lockState {
+	lk, ok := m.locks[id]
+	if !ok {
+		lk = &lockState{holder: -1}
+		m.locks[id] = lk
+	}
+	return lk
+}
+
+// doAcquire attempts to take the lock; returns false if p blocked.
+func (m *Machine) doAcquire(p *proc, r trace.Ref) bool {
+	lk := m.lock(r.ID)
+	if lk.held {
+		lk.waiters = append(lk.waiters, p.id)
+		p.blocked = true
+		p.blockAt = p.t
+		if m.params.SpinLocks {
+			// The spinner's test load misses once when the holder's
+			// acquisition invalidated its copy, then spins locally;
+			// charge that one coherence read now.
+			eff := m.mem.Read(p.node, addrspace.LineOf(r.Addr))
+			m.charge(p.node, p.slcRes, p.t, eff)
+		}
+		return false
+	}
+	if lk.freeAt > p.t {
+		if m.measuring {
+			p.st.Sync += lk.freeAt - p.t
+		}
+		p.t = lk.freeAt
+	}
+	// The test&set is a read-modify-write that must reach the coherence
+	// point: a blocking write-access on the lock's line. Lock lines
+	// migrate between attraction memories, so a lock last held within
+	// the node is cheap — one of the sharing effects under study.
+	t0 := p.t
+	l := addrspace.LineOf(r.Addr)
+	eff := m.mem.Write(p.node, l)
+	done, class := m.charge(p.node, p.slcRes, p.t, eff)
+	p.t = done
+	m.stall(p, class, p.t-t0)
+	lk.held = true
+	lk.holder = p.id
+	return true
+}
+
+// doRelease drains the write buffer, frees the lock and wakes the first
+// waiter (FIFO handoff).
+func (m *Machine) doRelease(p *proc, r trace.Ref) {
+	m.drainAll(p)
+	l := addrspace.LineOf(r.Addr)
+	eff := m.mem.Write(p.node, l)
+	done, class := m.charge(p.node, p.slcRes, p.t, eff)
+	m.stall(p, class, done-p.t)
+	p.t = done
+	lk := m.lock(r.ID)
+	if !lk.held || lk.holder != p.id {
+		panic(fmt.Sprintf("machine: proc %d releases lock %d it does not hold", p.id, r.ID))
+	}
+	lk.held = false
+	lk.holder = -1
+	lk.freeAt = p.t
+	if len(lk.waiters) == 0 {
+		return
+	}
+	if m.params.SpinLocks {
+		// Test&test&set: the release invalidates every spinner's cached
+		// copy; they all re-read the line in a burst before one wins.
+		for _, id := range lk.waiters {
+			w := m.procs[id]
+			eff := m.mem.Read(w.node, l)
+			m.charge(w.node, w.slcRes, p.t, eff)
+		}
+	}
+	w := m.procs[lk.waiters[0]]
+	lk.waiters = lk.waiters[1:]
+	if m.measuring && p.t > w.t {
+		w.st.Sync += p.t - w.t
+	}
+	w.t = engine.Max(w.t, p.t)
+	w.blocked = false
+}
+
+// doBarrier implements global barriers and the measured-section marker.
+func (m *Machine) doBarrier(p *proc, r trace.Ref) {
+	m.drainAll(p)
+	b := &m.bar
+	if !b.active {
+		b.active = true
+		b.id = r.ID
+		b.measure = r.Kind == trace.MeasureStart
+		b.arrived = b.arrived[:0]
+		b.arriveAt = b.arriveAt[:0]
+	} else if b.id != r.ID || b.measure != (r.Kind == trace.MeasureStart) {
+		panic(fmt.Sprintf("machine: proc %d at barrier %d while barrier %d in flight", p.id, r.ID, b.id))
+	}
+	b.arrived = append(b.arrived, p.id)
+	b.arriveAt = append(b.arriveAt, p.t)
+	p.blocked = true
+	p.blockAt = p.t
+	if len(b.arrived) < m.params.Procs {
+		return
+	}
+	// Last arrival: release everyone.
+	var tmax engine.Time
+	for _, at := range b.arriveAt {
+		tmax = engine.Max(tmax, at)
+	}
+	tmax += DefaultBarrierTime
+	for i, id := range b.arrived {
+		q := m.procs[id]
+		q.blocked = false
+		if m.measuring {
+			q.st.Sync += tmax - b.arriveAt[i]
+		}
+		q.t = tmax
+	}
+	b.active = false
+	if b.measure {
+		m.beginMeasure(tmax)
+	}
+}
+
+// beginMeasure resets all statistics at the start of the measured section.
+func (m *Machine) beginMeasure(at engine.Time) {
+	m.measuring = true
+	m.reads = 0
+	m.readNodeMisses = 0
+	m.busOcc = [3]engine.Time{}
+	m.writeBacks = 0
+	m.dirtyPurges = 0
+	m.latency = LatencyHist{}
+	m.mem.ResetStats()
+	m.bus.Reset()
+	for _, n := range m.nodes {
+		n.nc.Reset()
+		n.dram.Reset()
+	}
+	for _, p := range m.procs {
+		p.st = ProcStats{}
+		p.start = at
+		p.slcRes.Reset()
+	}
+}
+
+func (m *Machine) result() *Result {
+	res := &Result{
+		Procs:          make([]ProcStats, len(m.procs)),
+		Reads:          m.reads,
+		ReadNodeMisses: m.readNodeMisses,
+		WriteBacks:     m.writeBacks,
+		DirtyPurges:    m.dirtyPurges,
+		ReadLatency:    m.latency,
+		Protocol:       m.mem.Stats(),
+	}
+	for c := range m.busOcc {
+		res.BusOccupancy[c] = m.busOcc[c]
+	}
+	for i, p := range m.procs {
+		res.Procs[i] = p.st
+		res.ExecTime = engine.Max(res.ExecTime, p.st.Finish)
+	}
+	if res.ExecTime > 0 {
+		dur := float64(res.ExecTime)
+		res.BusUtilization = float64(m.bus.BusyTotal()) / dur
+		res.NodeUtilization = make([]NodeUtil, len(m.nodes))
+		for n, nr := range m.nodes {
+			res.NodeUtilization[n] = NodeUtil{
+				NC:   float64(nr.nc.BusyTotal()) / dur,
+				DRAM: float64(nr.dram.BusyTotal()) / dur,
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,169 @@
+// Package machine is the whole-machine timing simulator: it interleaves
+// the per-processor reference streams through the cache hierarchy and the
+// COMA protocol, modelling contention for second-level caches, node
+// controllers, attraction-memory DRAMs and the global shared bus, plus the
+// release-consistent write buffers and the synchronization primitives.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/coma"
+	"repro/internal/engine"
+)
+
+// Default timing parameters from paper Section 3.2. The processors are
+// 4-way superscalar at 250 MHz (4 ns cycles); contention-free read
+// latencies are L1 0 ns, SLC 32 ns, AM 148 ns (24 ns node controller +
+// 100 ns DRAM, after a 24 ns SLC miss detection), remote 332 ns with the
+// bus occupied 2x20 ns.
+const (
+	DefaultSLCHit        engine.Time = 32
+	DefaultSLCMissDetect engine.Time = 24
+	// DefaultSLCWrite is the SLC write-port occupancy of a store that
+	// hits a writable line (no processor stall under release
+	// consistency).
+	DefaultSLCWrite engine.Time = 8
+	DefaultNCTime   engine.Time = 24
+	DefaultDRAMTime engine.Time = 100
+	DefaultBusPhase engine.Time = 20
+	// DefaultRemotePad tops the staged remote walk (24+24+20+24+100+20+
+	// 100 = 312 ns) up to the paper's 332 ns contention-free latency.
+	DefaultRemotePad engine.Time = 20
+	// DefaultBarrierTime is the hardware barrier release overhead.
+	DefaultBarrierTime engine.Time = 40
+	// DefaultWriteBufferDepth is the release-consistency write buffer
+	// depth (paper: "a 10 entry write buffer").
+	DefaultWriteBufferDepth = 10
+)
+
+// Params configures one machine instance.
+type Params struct {
+	// Procs is the total processor count (the paper always uses 16).
+	Procs int
+	// ProcsPerNode is the clustering degree: 1, 2 or 4 in the paper.
+	// Processes are assigned to clusters in sequential order.
+	ProcsPerNode int
+
+	// L1Bytes is the per-processor first-level cache size (4 KB,
+	// direct-mapped in the paper).
+	L1Bytes int
+	// SLCBytes is the per-processor second-level cache size (working
+	// set / 128 in the paper). 4-way set-associative.
+	SLCBytes int
+	// AMBytesPerProc is the attraction-memory quota per processor; a
+	// node's AM is AMBytesPerProc * ProcsPerNode.
+	AMBytesPerProc int
+	// AMWays is the attraction-memory associativity (4 default, 8 for
+	// the Figure 4 variant).
+	AMWays int
+
+	// Bandwidth multipliers divide the occupancy (not the latency) of
+	// the corresponding resource; the paper studies 2x and 4x DRAM
+	// bandwidth, 2x node-controller bandwidth and 0.5x bus bandwidth.
+	DRAMBandwidth float64
+	NCBandwidth   float64
+	BusBandwidth  float64
+
+	// WriteBufferDepth is entries per processor (10 in the paper).
+	WriteBufferDepth int
+
+	// Inclusive selects the inclusive hierarchy (paper default). When
+	// false, AM replacement evictions do not purge the node's private
+	// caches — the "break the inclusion" extension of paper §4.2.
+	Inclusive bool
+
+	// Policy selects the protocol's replacement design choices
+	// (DefaultPolicy = the paper's protocol; see coma.Policy for the
+	// ablation switches).
+	Policy coma.Policy
+
+	// SpinLocks models test&test&set contention: when a lock frees, all
+	// waiters re-read the lock line (a burst of accesses) before one
+	// wins the read-modify-write. The default (false) models an ideal
+	// queue lock: waiters sleep and exactly one RMW happens per
+	// acquisition — the extension benchmark BenchmarkAblationLocks
+	// measures the difference.
+	SpinLocks bool
+}
+
+// DefaultParams returns the paper's baseline machine for the given
+// clustering degree and memory sizing.
+func DefaultParams(procs, procsPerNode, slcBytes, amBytesPerProc int) Params {
+	return Params{
+		Procs:            procs,
+		ProcsPerNode:     procsPerNode,
+		L1Bytes:          4096,
+		SLCBytes:         slcBytes,
+		AMBytesPerProc:   amBytesPerProc,
+		AMWays:           4,
+		DRAMBandwidth:    1,
+		NCBandwidth:      1,
+		BusBandwidth:     1,
+		WriteBufferDepth: DefaultWriteBufferDepth,
+		Inclusive:        true,
+		Policy:           coma.DefaultPolicy(),
+	}
+}
+
+// Validate checks structural consistency.
+func (p Params) Validate() error {
+	if p.Procs <= 0 {
+		return fmt.Errorf("machine: Procs = %d", p.Procs)
+	}
+	if p.ProcsPerNode <= 0 || p.Procs%p.ProcsPerNode != 0 {
+		return fmt.Errorf("machine: %d procs not divisible into nodes of %d", p.Procs, p.ProcsPerNode)
+	}
+	if p.Procs > 32 {
+		return fmt.Errorf("machine: %d procs exceeds the 32-processor bitmask limit", p.Procs)
+	}
+	if p.L1Bytes < addrspace.LineSize {
+		return fmt.Errorf("machine: L1Bytes = %d", p.L1Bytes)
+	}
+	if p.SLCBytes < addrspace.LineSize*4 {
+		return fmt.Errorf("machine: SLCBytes = %d too small", p.SLCBytes)
+	}
+	if p.AMWays <= 0 {
+		return fmt.Errorf("machine: AMWays = %d", p.AMWays)
+	}
+	if p.AMBytesPerProc < addrspace.LineSize*p.AMWays {
+		return fmt.Errorf("machine: AMBytesPerProc = %d smaller than one set", p.AMBytesPerProc)
+	}
+	if p.DRAMBandwidth <= 0 || p.NCBandwidth <= 0 || p.BusBandwidth <= 0 {
+		return fmt.Errorf("machine: non-positive bandwidth multiplier")
+	}
+	if p.WriteBufferDepth <= 0 {
+		return fmt.Errorf("machine: WriteBufferDepth = %d", p.WriteBufferDepth)
+	}
+	return nil
+}
+
+// Nodes returns the node count implied by the clustering degree.
+func (p Params) Nodes() int { return p.Procs / p.ProcsPerNode }
+
+// occupancy applies a bandwidth multiplier to a base occupancy, keeping it
+// at least one nanosecond.
+func occupancy(base engine.Time, bw float64) engine.Time {
+	occ := engine.Time(float64(base) / bw)
+	if occ < 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// oddSets converts a capacity in bytes into a set count for the given
+// associativity, rounded up to the next odd number. The paper's sizing
+// methodology ("this results in odd cache sizes") has the same effect:
+// set counts with no common factor with the power-of-two strides of array
+// codes, which would otherwise alias whole columns into a few sets.
+func oddSets(bytes, ways int) int {
+	sets := (bytes + addrspace.LineSize*ways - 1) / (addrspace.LineSize * ways)
+	if sets%2 == 0 {
+		sets++
+	}
+	if sets < 1 {
+		sets = 1
+	}
+	return sets
+}

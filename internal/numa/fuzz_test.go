@@ -1,0 +1,38 @@
+package numa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addrspace"
+)
+
+// Directory invariants hold under random operation sequences, including
+// write-backs interleaved with reads and writes.
+func TestDirectoryInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(4)
+		d := New(nodes, nil, nil)
+		for i := 0; i < 400; i++ {
+			node := rng.Intn(nodes)
+			line := addrspace.Line(rng.Intn(48))
+			switch rng.Intn(3) {
+			case 0:
+				d.Read(node, line)
+			case 1:
+				d.Write(node, line)
+			default:
+				d.WriteBack(node, line)
+			}
+			if d.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,18 @@
+package numa
+
+import (
+	"repro/internal/addrspace"
+	"repro/internal/machine"
+)
+
+// NewMachine builds a full machine whose node-level memory system is this
+// CC-NUMA directory instead of the COMA protocol. Every other component —
+// caches, write buffers, bus, timing — is identical, so COMA-vs-NUMA
+// comparisons isolate the attraction-memory effect.
+func NewMachine(p machine.Params) (*machine.Machine, error) {
+	return machine.NewWithMem(p, func(
+		purge func(node int, l addrspace.Line, evict bool),
+		downgrade func(node int, l addrspace.Line)) machine.MemSystem {
+		return New(p.Nodes(), purge, downgrade)
+	})
+}

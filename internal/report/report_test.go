@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/experiments"
+)
+
+// Rendering smoke test on hand-built data (the full Collect path is
+// exercised by TestCollectAndRender below).
+func TestRenderSynthetic(t *testing.T) {
+	d := &Data{
+		Table1: []experiments.Table1Row{{App: "fft", PaperProblem: "1M", OurProblem: "4096", OurWSKB: 192, Reads: 10, Writes: 5}},
+		Fig2: &experiments.Fig2{
+			Rows:  []experiments.Fig2Row{{App: "fft", RNMr1: 0.03, Rel2: 0.8, Rel4: 0.6}},
+			Mean2: 0.8, Mean4: 0.6,
+		},
+		Fig3: &experiments.TrafficFigure{Figure: 3, Bars: []experiments.TrafficBar{
+			{App: "fft", ProcsPerNode: 1, MP: "6%", AMWays: 4, Read: 0.5, Write: 0.2, Replace: 0.1},
+		}},
+		Fig4: &experiments.TrafficFigure{Figure: 4, Bars: []experiments.TrafficBar{
+			{App: "barnes", ProcsPerNode: 4, MP: "87%", AMWays: 8, Read: 0.3, Write: 0.1},
+		}},
+		Fig5: &experiments.Fig5{Bars: []experiments.Fig5Bar{
+			{App: "fft", Label: "1p@50%", Busy: 0.2, SLC: 0.1, AM: 0.3, Remote: 0.3, Sync: 0.1},
+		}},
+		Thresholds: analysis.PaperTable(),
+	}
+	var sb strings.Builder
+	if err := Render(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	html := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "Figure 2", "fft", "barnes", "49/64", "svg", "rect",
+		"80.0%", // Fig2 Mean2
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(html, "ZgotmplZ") {
+		t.Error("template escaped the SVG payload")
+	}
+}
+
+// Full pipeline: collect everything and render (slow; relies on runner
+// memoization when run alongside the other experiment tests).
+func TestCollectAndRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full collection in -short mode")
+	}
+	r := experiments.NewRunner()
+	d, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Render(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) < 10_000 {
+		t.Fatalf("suspiciously small report (%d bytes)", len(sb.String()))
+	}
+	for _, app := range experiments.Apps() {
+		if !strings.Contains(sb.String(), app) {
+			t.Errorf("report missing application %s", app)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package stats provides small result-presentation helpers shared by the
+// experiment drivers and command-line tools: aligned text tables, bar
+// rendering and relative-metric math.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of columns and writes them aligned.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%5.1f%%", 100*v) }
+
+// Bar renders a proportional ASCII bar of at most width cells.
+func Bar(v, max float64, width int) string {
+	if max <= 0 || v < 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// StackedBar renders segments as a stacked ASCII bar: segment i occupies
+// round(fracs[i]*width) cells drawn with chars[i]. Fractions are relative
+// to the full bar width (1.0 = width cells).
+func StackedBar(width int, fracs []float64, chars []byte) string {
+	if len(fracs) != len(chars) {
+		panic("stats: fracs/chars length mismatch")
+	}
+	var b strings.Builder
+	used := 0
+	for i, f := range fracs {
+		if f < 0 {
+			f = 0
+		}
+		n := int(f*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		for j := 0; j < n; j++ {
+			b.WriteByte(chars[i])
+		}
+		used += n
+	}
+	return b.String()
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Mean averages a slice (0 for empty).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("a", 1)
+	tb.Row("longer", 2.5)
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+sep+2 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "2.500") {
+		t.Fatalf("float formatting: %q", lines[3])
+	}
+	// Columns align: "value" header and "1" start at the same offset.
+	if strings.Index(lines[0], "value") != strings.Index(lines[2], "1") {
+		t.Fatalf("misaligned:\n%s", sb.String())
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.5) != " 50.0%" {
+		t.Fatalf("got %q", Pct(0.5))
+	}
+	if Pct(1.234) != "123.4%" {
+		t.Fatalf("got %q", Pct(1.234))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(1, 2, 10) != "#####" {
+		t.Fatalf("got %q", Bar(1, 2, 10))
+	}
+	if Bar(5, 2, 10) != "##########" {
+		t.Fatal("bar must clamp to width")
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 2, 10) != "" {
+		t.Fatal("degenerate bars must be empty")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	got := StackedBar(10, []float64{0.3, 0.2}, []byte{'#', '='})
+	if got != "###==" {
+		t.Fatalf("got %q", got)
+	}
+	// Overflow clamps to the width.
+	got = StackedBar(4, []float64{0.9, 0.9}, []byte{'a', 'b'})
+	if got != "aaaa" {
+		t.Fatalf("got %q", got)
+	}
+	got = StackedBar(10, []float64{0.5, 0.9}, []byte{'a', 'b'})
+	if got != "aaaaabbbbb" {
+		t.Fatalf("got %q", got)
+	}
+	// Negative fractions are ignored.
+	if StackedBar(4, []float64{-1, 0.5}, []byte{'a', 'b'}) != "bb" {
+		t.Fatal("negative fraction not ignored")
+	}
+}
+
+func TestStackedBarMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StackedBar(4, []float64{1}, []byte{'a', 'b'})
+}
+
+func TestRatioAndMean(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio broken")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean broken")
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/addrspace"
+	"repro/internal/engine"
+)
+
+// Binary trace format: generating the workloads is fast, but users who
+// sweep many machine configurations can cache traces to disk and reload
+// them without re-running the kernels.
+//
+// Layout (little endian):
+//
+//	magic "COMATRC1" | name len + bytes | procs u32 | workingSet u64 |
+//	per stream: count u32, then count records of
+//	  kind u8 | addr u64 | id u32 | dur i64
+const encodeMagic = "COMATRC1"
+
+// WriteTo serializes the trace. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v interface{}) error { return binary.Write(cw, binary.LittleEndian, v) }
+	if _, err := cw.Write([]byte(encodeMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(len(t.Name))); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write([]byte(t.Name)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(t.Procs)); err != nil {
+		return cw.n, err
+	}
+	if err := write(t.WorkingSet); err != nil {
+		return cw.n, err
+	}
+	for _, st := range t.Streams {
+		if err := write(uint32(len(st))); err != nil {
+			return cw.n, err
+		}
+		for _, r := range st {
+			if err := write(uint8(r.Kind)); err != nil {
+				return cw.n, err
+			}
+			if err := write(uint64(r.Addr)); err != nil {
+				return cw.n, err
+			}
+			if err := write(r.ID); err != nil {
+				return cw.n, err
+			}
+			if err := write(int64(r.Dur)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo and validates it.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	magic := make([]byte, len(encodeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != encodeMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var nameLen uint32
+	if err := read(&nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var procs uint32
+	if err := read(&procs); err != nil {
+		return nil, err
+	}
+	if procs == 0 || procs > 1024 {
+		return nil, fmt.Errorf("trace: implausible processor count %d", procs)
+	}
+	t := &Trace{Name: string(name), Procs: int(procs)}
+	if err := read(&t.WorkingSet); err != nil {
+		return nil, err
+	}
+	t.Streams = make([][]Ref, procs)
+	for p := range t.Streams {
+		var count uint32
+		if err := read(&count); err != nil {
+			return nil, err
+		}
+		st := make([]Ref, count)
+		for i := range st {
+			var kind uint8
+			var addr uint64
+			var dur int64
+			if err := read(&kind); err != nil {
+				return nil, err
+			}
+			if err := read(&addr); err != nil {
+				return nil, err
+			}
+			if err := read(&st[i].ID); err != nil {
+				return nil, err
+			}
+			if err := read(&dur); err != nil {
+				return nil, err
+			}
+			if kind > uint8(MeasureStart) {
+				return nil, fmt.Errorf("trace: proc %d ref %d: unknown kind %d", p, i, kind)
+			}
+			st[i].Kind = Kind(kind)
+			st[i].Addr = addrspace.Addr(addr)
+			st[i].Dur = engine.Time(dur)
+		}
+		t.Streams[p] = st
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := build2(t)
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Procs != orig.Procs || got.WorkingSet != orig.WorkingSet {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for p := range orig.Streams {
+		if len(got.Streams[p]) != len(orig.Streams[p]) {
+			t.Fatalf("proc %d: %d refs, want %d", p, len(got.Streams[p]), len(orig.Streams[p]))
+		}
+		for i := range orig.Streams[p] {
+			if got.Streams[p][i] != orig.Streams[p][i] {
+				t.Fatalf("proc %d ref %d: %+v != %+v", p, i, got.Streams[p][i], orig.Streams[p][i])
+			}
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("NOTATRACE-AT-ALL")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadTrace(strings.NewReader("COMA")); err == nil {
+		t.Fatal("expected short-read error")
+	}
+}
+
+func TestReadTraceRejectsTruncation(t *testing.T) {
+	orig := build2(t)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) / 4, len(data) / 2, len(data) - 1} {
+		if _, err := ReadTrace(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+// failAfter errors once n bytes have been written.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		can := f.n - f.written
+		if can < 0 {
+			can = 0
+		}
+		f.written += can
+		return can, errShortDevice
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+var errShortDevice = &shortDeviceError{}
+
+type shortDeviceError struct{}
+
+func (*shortDeviceError) Error() string { return "device full" }
+
+func TestWriteToPropagatesErrors(t *testing.T) {
+	tr := build2(t)
+	// A full serialization needs well over 64 bytes; failing at various
+	// points must surface the error (buffered writers may defer it to
+	// the final flush).
+	for _, limit := range []int{0, 4, 20, 64} {
+		if _, err := tr.WriteTo(&failAfter{n: limit}); err == nil {
+			t.Fatalf("write error at limit %d not propagated", limit)
+		}
+	}
+}
+
+func TestReadTraceRejectsImplausibleHeader(t *testing.T) {
+	// Valid magic followed by an absurd name length.
+	data := append([]byte(encodeMagic), 0xff, 0xff, 0xff, 0x7f)
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Fatal("implausible name length not rejected")
+	}
+}
+
+func TestReadTraceRejectsBadKind(t *testing.T) {
+	orig := build2(t)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the first record's kind byte (offset: magic 8 + namelen 4 +
+	// name 4 + procs 4 + ws 8 + count 4).
+	off := 8 + 4 + len(orig.Name) + 4 + 8 + 4
+	data[off] = 250
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad kind not detected")
+	}
+}

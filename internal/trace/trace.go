@@ -1,0 +1,159 @@
+// Package trace defines the per-processor memory-reference streams that
+// drive the timing simulator — the equivalent of the data-reference stream
+// SimICS fed the memory-system model in the paper. Instruction fetches are
+// not represented (the paper assumes they always hit); instruction
+// execution time appears as explicit Compute records.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/engine"
+)
+
+// Kind discriminates trace records.
+type Kind uint8
+
+// Trace record kinds.
+const (
+	// Read is a data load from Addr. The processor stalls until it
+	// completes (release consistency: reads are blocking).
+	Read Kind = iota
+	// Write is a data store to Addr. It retires through the write buffer;
+	// the processor does not stall unless the buffer is full.
+	Write
+	// Compute advances the processor's clock by Dur nanoseconds of busy
+	// execution (instructions that hit in the L1).
+	Compute
+	// Acquire obtains the lock identified by ID, performing a
+	// read-modify-write on Addr (the lock's home line).
+	Acquire
+	// Release drains the write buffer and frees lock ID via Addr.
+	Release
+	// Barrier blocks until all processors reach barrier ID.
+	Barrier
+	// MeasureStart marks the beginning of the measured parallel section;
+	// it acts as a barrier and resets all statistics (the paper measures
+	// only the parallel section, per SPLASH-2 guidance).
+	MeasureStart
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Compute:
+		return "compute"
+	case Acquire:
+		return "acquire"
+	case Release:
+		return "release"
+	case Barrier:
+		return "barrier"
+	case MeasureStart:
+		return "measure-start"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Ref is one trace record. Addr is meaningful for Read/Write/Acquire/
+// Release; ID for Acquire/Release/Barrier; Dur for Compute.
+type Ref struct {
+	Kind Kind
+	Addr addrspace.Addr
+	ID   uint32
+	Dur  engine.Time
+}
+
+// Trace holds the generated streams for every processor plus workload
+// metadata needed to size the machine.
+type Trace struct {
+	// Name identifies the workload (e.g. "radix").
+	Name string
+	// Procs is the number of logical processors (streams).
+	Procs int
+	// WorkingSet is the application footprint in bytes (page-rounded),
+	// from which attraction-memory sizes are derived via memory pressure.
+	WorkingSet uint64
+	// Streams[p] is processor p's reference stream.
+	Streams [][]Ref
+}
+
+// Validate checks structural invariants: stream count, barrier pairing is
+// not checked here (the machine enforces it), but every stream must
+// contain exactly one MeasureStart and addresses must be non-zero for
+// memory operations.
+func (t *Trace) Validate() error {
+	if len(t.Streams) != t.Procs {
+		return fmt.Errorf("trace %s: %d streams for %d procs", t.Name, len(t.Streams), t.Procs)
+	}
+	for p, st := range t.Streams {
+		measures := 0
+		for i, r := range st {
+			switch r.Kind {
+			case Read, Write, Acquire, Release:
+				if r.Addr == 0 {
+					return fmt.Errorf("trace %s: proc %d ref %d (%s) has zero address", t.Name, p, i, r.Kind)
+				}
+			case Compute:
+				if r.Dur < 0 {
+					return fmt.Errorf("trace %s: proc %d ref %d negative compute", t.Name, p, i)
+				}
+			case MeasureStart:
+				measures++
+			}
+		}
+		if measures != 1 {
+			return fmt.Errorf("trace %s: proc %d has %d MeasureStart records (want 1)", t.Name, p, measures)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a trace for inspection tools and tests.
+type Stats struct {
+	Reads, Writes      int64
+	Acquires, Barriers int64
+	ComputeTotal       engine.Time
+	// DistinctLines is the number of distinct cache lines touched.
+	DistinctLines int
+	// SharedLines is the number of lines touched by 2+ processors.
+	SharedLines int
+}
+
+// Summarize scans the whole trace. It is O(refs) and allocates a map over
+// touched lines; intended for tools and tests, not the simulation loop.
+func (t *Trace) Summarize() Stats {
+	var s Stats
+	touched := make(map[addrspace.Line]uint32) // bitmap of procs per line
+	for p, st := range t.Streams {
+		for _, r := range st {
+			switch r.Kind {
+			case Read:
+				s.Reads++
+				touched[addrspace.LineOf(r.Addr)] |= 1 << uint(p%32)
+			case Write:
+				s.Writes++
+				touched[addrspace.LineOf(r.Addr)] |= 1 << uint(p%32)
+			case Compute:
+				s.ComputeTotal += r.Dur
+			case Acquire:
+				s.Acquires++
+			case Barrier:
+				s.Barriers++
+			}
+		}
+	}
+	s.DistinctLines = len(touched)
+	for _, mask := range touched {
+		if mask&(mask-1) != 0 {
+			s.SharedLines++
+		}
+	}
+	return s
+}

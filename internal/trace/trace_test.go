@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func build2(t *testing.T) *Trace {
+	t.Helper()
+	b := NewBuilder("test", 2)
+	b.Write(0, 0x1000)
+	b.Compute(0, 10)
+	b.Compute(0, 5) // coalesces with the previous compute
+	b.Barrier()
+	b.MeasureStart()
+	b.Read(0, 0x1000)
+	b.Read(1, 0x1000)
+	b.Acquire(1, 7, 0x2000)
+	b.Release(1, 7, 0x2000)
+	b.Barrier()
+	return b.Build(8192)
+}
+
+func TestBuilderStreams(t *testing.T) {
+	tr := build2(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Procs != 2 || len(tr.Streams) != 2 {
+		t.Fatal("stream count wrong")
+	}
+	if tr.WorkingSet != 8192 {
+		t.Fatal("working set wrong")
+	}
+	// Compute coalescing: proc 0 has exactly one Compute of 15.
+	var computes []Ref
+	for _, r := range tr.Streams[0] {
+		if r.Kind == Compute {
+			computes = append(computes, r)
+		}
+	}
+	if len(computes) != 1 || computes[0].Dur != 15 {
+		t.Fatalf("compute coalescing: %+v", computes)
+	}
+	// Barriers appear in both streams with matching ids.
+	for p := 0; p < 2; p++ {
+		n := 0
+		for _, r := range tr.Streams[p] {
+			if r.Kind == Barrier {
+				n++
+			}
+		}
+		if n != 2 {
+			t.Fatalf("proc %d has %d barriers, want 2", p, n)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := build2(t)
+	s := tr.Summarize()
+	if s.Reads != 2 || s.Writes != 1 || s.Acquires != 1 || s.Barriers != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.ComputeTotal != 15 {
+		t.Fatalf("compute total %v", s.ComputeTotal)
+	}
+	if s.DistinctLines != 1 {
+		t.Fatalf("distinct lines %d", s.DistinctLines)
+	}
+	if s.SharedLines != 1 { // 0x1000 touched by both
+		t.Fatalf("shared lines %d", s.SharedLines)
+	}
+}
+
+func TestValidateRejectsZeroAddr(t *testing.T) {
+	tr := &Trace{Name: "bad", Procs: 1, Streams: [][]Ref{{
+		{Kind: MeasureStart},
+		{Kind: Read, Addr: 0},
+	}}}
+	if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "zero address") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRequiresMeasureStart(t *testing.T) {
+	tr := &Trace{Name: "bad", Procs: 1, Streams: [][]Ref{{
+		{Kind: Read, Addr: 64},
+	}}}
+	if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "MeasureStart") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateStreamCount(t *testing.T) {
+	tr := &Trace{Name: "bad", Procs: 2, Streams: [][]Ref{{{Kind: MeasureStart}}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected stream-count error")
+	}
+}
+
+func TestBuilderDoubleMeasurePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("x", 1)
+	b.MeasureStart()
+	b.MeasureStart()
+}
+
+func TestBuilderBuildWithoutMeasurePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder("x", 1).Build(100)
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Read: "read", Write: "write", Compute: "compute",
+		Acquire: "acquire", Release: "release", Barrier: "barrier",
+		MeasureStart: "measure-start",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestComputeNonPositiveIgnored(t *testing.T) {
+	b := NewBuilder("x", 1)
+	b.Compute(0, 0)
+	b.Compute(0, -5)
+	b.MeasureStart()
+	tr := b.Build(64)
+	if len(tr.Streams[0]) != 1 {
+		t.Fatalf("non-positive computes must be dropped: %+v", tr.Streams[0])
+	}
+}
