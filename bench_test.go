@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/apps"
@@ -20,8 +21,29 @@ import (
 )
 
 // runner memoizes traces and simulation results across all benchmarks in
-// this binary.
+// this binary (safe for the concurrent matrices the drivers fan out).
 var runner = experiments.NewRunner()
+
+// freshFigure2 regenerates Figure 2 on a fresh un-memoized 8-processor
+// runner with the given pool width, so the benchmark measures real
+// simulation wall clock rather than cache hits.
+func freshFigure2(b *testing.B, jobs int) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		r.Procs = 8
+		r.Jobs = jobs
+		if _, err := r.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Jobs1 vs BenchmarkFigure2JobsN: the ratio of these two
+// is the experiment engine's parallel speedup on this machine (output is
+// byte-identical either way).
+func BenchmarkFigure2Jobs1(b *testing.B) { freshFigure2(b, 1) }
+
+func BenchmarkFigure2JobsN(b *testing.B) { freshFigure2(b, runtime.NumCPU()) }
 
 // BenchmarkTable1Workloads generates every Table 1 workload trace.
 func BenchmarkTable1Workloads(b *testing.B) {

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/analysis"
 	"repro/internal/experiments"
@@ -18,9 +19,11 @@ func main() {
 	only := flag.String("only", "", "run a single artifact (table1, fig2..fig5, sens-*, thresholds)")
 	chart := flag.Bool("chart", false, "render figures 3-5 as stacked bar charts")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
 	flag.Parse()
 
 	r := experiments.NewRunner()
+	r.Jobs = *jobs
 	if *verbose {
 		r.Progress = os.Stderr
 	}

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -16,9 +17,11 @@ import (
 func main() {
 	out := flag.String("o", "report.html", "output file")
 	verbose := flag.Bool("v", false, "progress to stderr")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
 	flag.Parse()
 
 	r := experiments.NewRunner()
+	r.Jobs = *jobs
 	if *verbose {
 		r.Progress = os.Stderr
 	}

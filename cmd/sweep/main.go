@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -24,6 +25,7 @@ func main() {
 	dram := flag.String("dram", "1", "comma-separated DRAM bandwidth multipliers")
 	verbose := flag.Bool("v", false, "progress to stderr")
 	dryRun := flag.Bool("n", false, "print the point count and exit")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
 	flag.Parse()
 
 	spec := experiments.SweepSpec{
@@ -44,6 +46,7 @@ func main() {
 		return
 	}
 	r := experiments.NewRunner()
+	r.Jobs = *jobs
 	if *verbose {
 		r.Progress = os.Stderr
 	}

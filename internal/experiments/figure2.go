@@ -27,18 +27,26 @@ type Fig2 struct {
 }
 
 // Figure2 runs all 14 applications at 6% MP with 1, 2 and 4 processors
-// per node.
+// per node. The 42-run matrix executes on the worker pool; rows are
+// assembled after the barrier in registry order.
 func (r *Runner) Figure2() (*Fig2, error) {
+	ppns := []int{1, 2, 4}
+	var jobs []job
+	for _, a := range apps.Registry {
+		for _, ppn := range ppns {
+			jobs = append(jobs, job{a.Name, config.Baseline(ppn, config.MP6)})
+		}
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
 	f := &Fig2{}
 	var rel2s, rel4s []float64
-	for _, a := range apps.Registry {
+	for ai, a := range apps.Registry {
 		var rnmr [3]float64
-		for i, ppn := range []int{1, 2, 4} {
-			res, err := r.Run(a.Name, config.Baseline(ppn, config.MP6))
-			if err != nil {
-				return nil, err
-			}
-			rnmr[i] = res.RNMr()
+		for i := range ppns {
+			rnmr[i] = results[ai*len(ppns)+i].RNMr()
 		}
 		row := Fig2Row{
 			App:   a.Name,

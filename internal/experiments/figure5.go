@@ -43,13 +43,20 @@ func (r *Runner) Figure5() (*Fig5, error) {
 		{"1p@81%", 1, config.MP81},
 		{"4p@81%", 4, config.MP81},
 	}
+	var jobs []job
 	for _, a := range apps.Registry {
+		for _, s := range specs {
+			jobs = append(jobs, job{a.Name, config.Figure5(s.ppn, s.mp)})
+		}
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ai, a := range apps.Registry {
 		var base float64
 		for i, s := range specs {
-			res, err := r.Run(a.Name, config.Figure5(s.ppn, s.mp))
-			if err != nil {
-				return nil, err
-			}
+			res := results[ai*len(specs)+i]
 			b := res.Breakdown()
 			if i == 0 {
 				base = b.Total()

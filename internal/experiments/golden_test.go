@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/stats"
+)
+
+// Golden-file regression tests: the rendered Figure 2/3/5 tables and the
+// replication-threshold table are committed under testdata/ and compared
+// byte-for-byte, so protocol or timing edits that shift results show up
+// as reviewable diffs instead of silently drifting. Regenerate after an
+// intended change with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// The goldens use an 8-processor machine: runs are ~4x cheaper than the
+// paper's 16 processors while every clustering degree still spans at
+// least two nodes, so all protocol paths (remote misses, injection,
+// replacement) stay exercised. Kernel generation is fixed-seed and the
+// simulator deterministic, so the files are stable per platform (libm
+// rounding could in principle drift across CPU architectures; CI and the
+// goldens are both amd64).
+var update = flag.Bool("update", false, "rewrite golden files in testdata/")
+
+// goldenRunner is shared by the golden tests (results are memoized, and
+// several figures reuse configurations).
+var goldenRunner struct {
+	once sync.Once
+	r    *Runner
+}
+
+func golden8() *Runner {
+	goldenRunner.once.Do(func() {
+		goldenRunner.r = NewRunner()
+		goldenRunner.r.Procs = 8
+	})
+	return goldenRunner.r
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Errorf("%s drifted from its golden file.\nIf the change is intended, rerun with -update and review the diff.\n--- got ---\n%s--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenFigure2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration in -short mode")
+	}
+	f, err := golden8().Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure2.golden", sb.String())
+}
+
+func TestGoldenFigure3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration in -short mode")
+	}
+	f, err := golden8().Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure3.golden", sb.String())
+}
+
+func TestGoldenFigure5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration in -short mode")
+	}
+	f, err := golden8().Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Chart(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure5.golden", sb.String())
+}
+
+// The thresholds table is pure arithmetic (no simulation), so its golden
+// pins the §4.2 analytical model's exact fractions.
+func TestGoldenThresholds(t *testing.T) {
+	var sb strings.Builder
+	fmt.Fprintln(&sb, "Replication thresholds (paper Section 4.2 analytical model)")
+	tab := stats.NewTable("procs/node", "AM ways", "threshold", "exact")
+	for _, row := range analysis.PaperTable() {
+		tab.Row(row.Machine.ProcsPerNode, row.Machine.AMWays,
+			stats.Pct(row.Threshold), fmt.Sprintf("%d/%d", row.Num, row.Den))
+	}
+	if err := tab.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "thresholds.golden", sb.String())
+}

@@ -28,13 +28,21 @@ type LatencyRow struct {
 // Latency measures the distribution at 81% MP (2x DRAM bandwidth, the
 // Figure 5 machine) for single-processor and 4-processor nodes.
 func (r *Runner) Latency() ([]LatencyRow, error) {
-	var rows []LatencyRow
+	ppns := []int{1, 4}
+	var jobs []job
 	for _, a := range apps.Registry {
-		for _, ppn := range []int{1, 4} {
-			res, err := r.Run(a.Name, config.Figure5(ppn, config.MP81))
-			if err != nil {
-				return nil, err
-			}
+		for _, ppn := range ppns {
+			jobs = append(jobs, job{a.Name, config.Figure5(ppn, config.MP81)})
+		}
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []LatencyRow
+	for ai, a := range apps.Registry {
+		for pi, ppn := range ppns {
+			res := results[ai*len(ppns)+pi]
 			h := &res.ReadLatency
 			total := float64(h.Total())
 			if total == 0 {

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/machine"
+)
+
+// job identifies one simulation of a driver's run matrix.
+type job struct {
+	app string
+	cfg config.Machine
+}
+
+// runAll executes a run matrix on the worker pool: traces are
+// pre-generated in parallel first (the kernels really compute, so trace
+// construction is worth overlapping too), then every job fans out across
+// up to Jobs workers. Results come back in input order; if any job fails,
+// outstanding work is cancelled and the error of the earliest failing job
+// is returned, exactly as the sequential engine would report it.
+func (r *Runner) runAll(jobs []job) ([]*machine.Result, error) {
+	names := make([]string, 0, len(jobs))
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if !seen[j.app] {
+			seen[j.app] = true
+			names = append(names, j.app)
+		}
+	}
+	if err := r.pregenTraces(names); err != nil {
+		return nil, err
+	}
+	results := make([]*machine.Result, len(jobs))
+	err := r.forEach(len(jobs), func(i int) error {
+		res, err := r.Run(jobs[i].app, jobs[i].cfg)
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// pregenTraces generates the named workloads' traces in parallel (they
+// are memoized, so later Run calls reuse them). The names should be in
+// first-use order so the earliest failing workload wins error reporting.
+func (r *Runner) pregenTraces(names []string) error {
+	return r.forEach(len(names), func(i int) error {
+		_, err := r.Trace(names[i])
+		return err
+	})
+}
+
+// forEach runs f(0..n-1) on up to Jobs workers. Indices are dispatched in
+// order; after the first failure no new index is dispatched, already
+// running calls finish, and the error of the smallest failing index is
+// returned. Because dispatch order is a prefix of input order, that index
+// is the same one the sequential engine would have failed on.
+func (r *Runner) forEach(n int, f func(i int) error) error {
+	workers := r.jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := f(i); err != nil {
+					errs[i] = err
+					stopOnce.Do(func() { close(stop) })
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-stop:
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+// runner8 returns a fresh 8-processor runner with the given pool width
+// (fresh, so nothing is pre-memoized and the pool really executes).
+func runner8(jobs int) *Runner {
+	r := NewRunner()
+	r.Procs = 8
+	r.Jobs = jobs
+	return r
+}
+
+// Determinism under parallelism: the same study must produce deeply-equal
+// results whether the matrix runs on one worker or eight — aggregation is
+// post-barrier in registry order, never completion order.
+func TestFigure2DeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure in -short mode")
+	}
+	seq, err := runner8(1).Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runner8(8).Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Figure2 differs between Jobs=1 and Jobs=8:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestSensitivityNodeDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in -short mode")
+	}
+	seq, err := runner8(1).SensitivityNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runner8(8).SensitivityNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("SensitivityNode differs between Jobs=1 and Jobs=8:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+// Singleflight: 16 goroutines racing on the same key must share exactly
+// one simulation and get the same memoized result pointer.
+func TestRunConcurrentSameKeySimulatesOnce(t *testing.T) {
+	r := runner8(4)
+	var sims atomic.Int64
+	r.onSimulate = func(string, config.Machine) { sims.Add(1) }
+	cfg := config.Baseline(1, config.MP6)
+
+	const callers = 16
+	results := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run("fft", cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if got := sims.Load(); got != 1 {
+		t.Fatalf("simulation executed %d times, want exactly 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+}
+
+// runAll must hand back results in input order and share the memo cache
+// with direct Run calls.
+func TestRunAllPreservesInputOrder(t *testing.T) {
+	r := runner8(4)
+	jobs := []job{
+		{"fft", config.Baseline(4, config.MP6)},
+		{"radix", config.Baseline(1, config.MP6)},
+		{"fft", config.Baseline(1, config.MP6)},
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("results = %d, want %d", len(results), len(jobs))
+	}
+	for i, j := range jobs {
+		direct, err := r.Run(j.app, j.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i] != direct {
+			t.Fatalf("results[%d] is not the memoized result of its job", i)
+		}
+	}
+}
+
+// Error propagation: a job failing mid-matrix must cancel outstanding
+// work, return the first (input-order) error, and leak no goroutines.
+func TestRunAllFirstErrorAndNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	r := runner8(4)
+	good := config.Baseline(1, config.MP6)
+	jobs := []job{
+		{"fft", good},
+		{"no-such-app", good},
+		{"also-missing", good},
+		{"radix", good},
+		{"water-n2", good},
+	}
+	results, err := r.runAll(jobs)
+	if err == nil {
+		t.Fatal("expected an error from the failing job")
+	}
+	if results != nil {
+		t.Fatalf("results must be nil on error, got %v", results)
+	}
+	// First-error semantics: the earliest bad job wins, not whichever
+	// worker happened to fail first.
+	if !strings.Contains(err.Error(), "no-such-app") {
+		t.Fatalf("error %q does not name the first failing job", err)
+	}
+
+	// The pool must wind down completely: poll briefly since worker
+	// goroutine exit is asynchronous with runAll's return.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A failing workload surfaces the same way through a full driver.
+func TestSweepErrorPropagatesThroughPool(t *testing.T) {
+	r := runner8(8)
+	_, err := r.Sweep(SweepSpec{Apps: []string{"fft", "bogus"},
+		ProcsPerNode: []int{1}, Pressures: []config.Pressure{config.MP6}})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v, want unknown-application error for %q", err, "bogus")
+	}
+}

@@ -3,11 +3,20 @@
 // rates under clustering), Figures 3 and 4 (bus traffic by class across
 // memory pressures), Figure 5 (execution-time breakdowns) and the Section
 // 4.3 bandwidth sensitivity studies.
+//
+// Every (application, configuration) simulation is an independent pure
+// function of its inputs, so the Runner executes full run matrices on a
+// worker pool (see pool.go) while keeping results memoized and
+// deduplicated: concurrent requests for the same run share a single
+// simulation. All aggregation happens after the pool barrier, in registry
+// order, so output is bit-identical regardless of Jobs.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/config"
@@ -16,15 +25,26 @@ import (
 )
 
 // Runner generates workload traces once and memoizes simulation results,
-// since the figures share many configurations.
+// since the figures share many configurations. It is safe for concurrent
+// use: both caches are singleflight maps, so two goroutines asking for
+// the same trace or run wait on one computation instead of racing.
 type Runner struct {
 	// Procs is the machine size (the paper's is 16).
 	Procs int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Jobs bounds the number of concurrent simulations a run matrix fans
+	// out to; 0 means runtime.NumCPU().
+	Jobs int
 
-	traces  map[string]*trace.Trace
-	results map[runKey]*machine.Result
+	mu      sync.Mutex
+	traces  map[string]*traceCell
+	results map[runKey]*resultCell
+
+	// onSimulate, when non-nil, is invoked once per simulation actually
+	// executed (memoized hits do not call it) — a test seam for the
+	// singleflight deduplication.
+	onSimulate func(app string, cfg config.Machine)
 }
 
 type runKey struct {
@@ -32,38 +52,100 @@ type runKey struct {
 	cfg config.Machine
 }
 
+// traceCell and resultCell are singleflight slots: the first goroutine to
+// claim the cell computes under its Once while latecomers block on the
+// same Once and then read the settled value.
+type traceCell struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+type resultCell struct {
+	once sync.Once
+	res  *machine.Result
+	err  error
+}
+
 // NewRunner returns a Runner for the paper's 16-processor machine.
 func NewRunner() *Runner {
-	return &Runner{
-		Procs:   16,
-		traces:  make(map[string]*trace.Trace),
-		results: make(map[runKey]*machine.Result),
+	return &Runner{Procs: 16}
+}
+
+// jobs resolves the worker-pool width.
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
 	}
+	return runtime.NumCPU()
+}
+
+func (r *Runner) traceCell(app string) *traceCell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.traces == nil {
+		r.traces = make(map[string]*traceCell)
+	}
+	c, ok := r.traces[app]
+	if !ok {
+		c = new(traceCell)
+		r.traces[app] = c
+	}
+	return c
+}
+
+func (r *Runner) resultCell(key runKey) *resultCell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.results == nil {
+		r.results = make(map[runKey]*resultCell)
+	}
+	c, ok := r.results[key]
+	if !ok {
+		c = new(resultCell)
+		r.results[key] = c
+	}
+	return c
 }
 
 // Trace returns the (cached) reference trace of a workload.
 func (r *Runner) Trace(app string) (*trace.Trace, error) {
-	if tr, ok := r.traces[app]; ok {
-		return tr, nil
-	}
-	a, err := apps.ByName(app)
-	if err != nil {
-		return nil, err
-	}
-	tr := a.Generate(r.Procs)
-	r.traces[app] = tr
-	return tr, nil
+	c := r.traceCell(app)
+	c.once.Do(func() {
+		a, err := apps.ByName(app)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.tr = a.Generate(r.Procs)
+	})
+	return c.tr, c.err
 }
 
-// Run simulates one configuration, memoized.
+// Run simulates one configuration, memoized and deduplicated: concurrent
+// calls with the same key share one simulation. A config that does not
+// pin its own processor count inherits the runner's machine size, so
+// smaller-than-paper runners (tests use 8 processors) stay consistent
+// with their traces.
 func (r *Runner) Run(app string, cfg config.Machine) (*machine.Result, error) {
-	key := runKey{app: app, cfg: cfg}
-	if res, ok := r.results[key]; ok {
-		return res, nil
+	if cfg.Procs == 0 {
+		cfg.Procs = r.Procs
 	}
+	c := r.resultCell(runKey{app: app, cfg: cfg})
+	c.once.Do(func() {
+		c.res, c.err = r.simulate(app, cfg)
+	})
+	return c.res, c.err
+}
+
+// simulate executes one run (no caching; Run wraps it in a cell).
+func (r *Runner) simulate(app string, cfg config.Machine) (*machine.Result, error) {
 	tr, err := r.Trace(app)
 	if err != nil {
 		return nil, err
+	}
+	if r.onSimulate != nil {
+		r.onSimulate(app, cfg)
 	}
 	m, err := machine.New(cfg.Params(tr.WorkingSet))
 	if err != nil {
@@ -73,11 +155,12 @@ func (r *Runner) Run(app string, cfg config.Machine) (*machine.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", app, err)
 	}
-	r.results[key] = res
 	if r.Progress != nil {
+		r.mu.Lock()
 		fmt.Fprintf(r.Progress, "ran %-10s %dp/node mp=%-4s ways=%d dram=%.2g nc=%.2g bus=%.2g -> exec %v\n",
 			app, cfg.ProcsPerNode, cfg.Pressure.Label, cfg.AMWays,
 			cfg.DRAMBandwidth, cfg.NCBandwidth, cfg.BusBandwidth, res.ExecTime)
+		r.mu.Unlock()
 	}
 	return res, nil
 }

@@ -27,20 +27,21 @@ type Sens struct {
 }
 
 func (r *Runner) clusterCompare(title, note string, mut func(*config.Machine)) (*Sens, error) {
-	s := &Sens{Title: title, Note: note}
+	var jobs []job
 	for _, a := range apps.Registry {
 		cfg1 := config.Baseline(1, config.MP50)
 		cfg4 := config.Baseline(4, config.MP50)
 		mut(&cfg1)
 		mut(&cfg4)
-		res1, err := r.Run(a.Name, cfg1)
-		if err != nil {
-			return nil, err
-		}
-		res4, err := r.Run(a.Name, cfg4)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, job{a.Name, cfg1}, job{a.Name, cfg4})
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sens{Title: title, Note: note}
+	for ai, a := range apps.Registry {
+		res1, res4 := results[2*ai], results[2*ai+1]
 		s.Rows = append(s.Rows, SensRow{
 			App:      a.Name,
 			Exec1Ns:  int64(res1.ExecTime),
@@ -119,16 +120,19 @@ type PressureRow struct {
 // from 50% to 6% MP buys only marginal performance (FFT, the most
 // sensitive application, improves 4.2% in the paper).
 func (r *Runner) SensitivityPressure() ([]PressureRow, error) {
-	var rows []PressureRow
+	var jobs []job
 	for _, a := range apps.Registry {
-		res6, err := r.Run(a.Name, config.Figure5(1, config.MP6))
-		if err != nil {
-			return nil, err
-		}
-		res50, err := r.Run(a.Name, config.Figure5(1, config.MP50))
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			job{a.Name, config.Figure5(1, config.MP6)},
+			job{a.Name, config.Figure5(1, config.MP50)})
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PressureRow
+	for ai, a := range apps.Registry {
+		res6, res50 := results[2*ai], results[2*ai+1]
 		rows = append(rows, PressureRow{
 			App:      a.Name,
 			Exec6Ns:  int64(res6.ExecTime),

@@ -68,9 +68,11 @@ type SweepRow struct {
 	Injects, Promotes                   int64
 }
 
-// Sweep runs every point of the spec (memoized like everything else).
+// Sweep runs every point of the spec (memoized like everything else) on
+// the worker pool; rows come back in cartesian order regardless of Jobs.
 func (r *Runner) Sweep(spec SweepSpec) ([]SweepRow, error) {
 	spec = spec.normalize()
+	var jobs []job
 	var rows []SweepRow
 	for _, app := range spec.Apps {
 		for _, ppn := range spec.ProcsPerNode {
@@ -84,10 +86,7 @@ func (r *Runner) Sweep(spec SweepSpec) ([]SweepRow, error) {
 								cfg.DRAMBandwidth = dram
 								cfg.NCBandwidth = nc
 								cfg.BusBandwidth = bus
-								res, err := r.Run(app, cfg)
-								if err != nil {
-									return nil, err
-								}
+								jobs = append(jobs, job{app, cfg})
 								rows = append(rows, SweepRow{
 									App:          app,
 									ProcsPerNode: ppn,
@@ -96,13 +95,6 @@ func (r *Runner) Sweep(spec SweepSpec) ([]SweepRow, error) {
 									DRAM:         dram,
 									NC:           nc,
 									Bus:          bus,
-									ExecNs:       int64(res.ExecTime),
-									RNMr:         res.RNMr(),
-									BusReadNs:    int64(res.BusOccupancy[0]),
-									BusWriteNs:   int64(res.BusOccupancy[1]),
-									BusReplaceNs: int64(res.BusOccupancy[2]),
-									Injects:      res.Protocol.Injects,
-									Promotes:     res.Protocol.Promotes,
 								})
 							}
 						}
@@ -110,6 +102,19 @@ func (r *Runner) Sweep(spec SweepSpec) ([]SweepRow, error) {
 				}
 			}
 		}
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rows[i].ExecNs = int64(res.ExecTime)
+		rows[i].RNMr = res.RNMr()
+		rows[i].BusReadNs = int64(res.BusOccupancy[0])
+		rows[i].BusWriteNs = int64(res.BusOccupancy[1])
+		rows[i].BusReplaceNs = int64(res.BusOccupancy[2])
+		rows[i].Injects = res.Protocol.Injects
+		rows[i].Promotes = res.Protocol.Promotes
 	}
 	return rows, nil
 }

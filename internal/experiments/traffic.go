@@ -48,30 +48,47 @@ func (r *Runner) Figure4() (*TrafficFigure, error) {
 	return r.traffic(4, apps.Group(apps.GroupFig4), true)
 }
 
+// trafficSpec carries the bar labelling of one traffic job.
+type trafficSpec struct {
+	app  string
+	ppn  int
+	mp   string
+	ways int
+}
+
 func (r *Runner) traffic(fig int, group []apps.App, eightWay bool) (*TrafficFigure, error) {
-	f := &TrafficFigure{Figure: fig}
+	var jobs []job
+	var specs []trafficSpec
 	for _, a := range group {
-		var bars []TrafficBar
 		for _, ppn := range []int{1, 4} {
 			for _, mp := range config.Pressures {
-				res, err := r.Run(a.Name, config.Baseline(ppn, mp))
-				if err != nil {
-					return nil, err
-				}
-				bars = append(bars, bar(a.Name, ppn, mp.Label, 4, res))
+				jobs = append(jobs, job{a.Name, config.Baseline(ppn, mp)})
+				specs = append(specs, trafficSpec{a.Name, ppn, mp.Label, 4})
 			}
 			if eightWay {
 				cfg := config.Baseline(ppn, config.MP87)
 				cfg.AMWays = 8
-				res, err := r.Run(a.Name, cfg)
-				if err != nil {
-					return nil, err
-				}
-				bars = append(bars, bar(a.Name, ppn, "87%", 8, res))
+				jobs = append(jobs, job{a.Name, cfg})
+				specs = append(specs, trafficSpec{a.Name, ppn, "87%", 8})
 			}
 		}
-		normalize(bars)
-		f.Bars = append(f.Bars, bars...)
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	f := &TrafficFigure{Figure: fig}
+	for i, s := range specs {
+		f.Bars = append(f.Bars, bar(s.app, s.ppn, s.mp, s.ways, results[i]))
+	}
+	// Normalize each application's contiguous group of bars.
+	for lo := 0; lo < len(f.Bars); {
+		hi := lo + 1
+		for hi < len(f.Bars) && f.Bars[hi].App == f.Bars[lo].App {
+			hi++
+		}
+		normalize(f.Bars[lo:hi])
+		lo = hi
 	}
 	return f, nil
 }
