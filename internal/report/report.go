@@ -8,6 +8,7 @@ import (
 	"html/template"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/experiments"
@@ -23,24 +24,30 @@ type Data struct {
 }
 
 // Collect runs (or reuses, via the runner's memoization) every experiment
-// the report needs.
+// the report needs. The five studies run concurrently: the runner
+// deduplicates the many configurations they share, and each study fans
+// its own matrix out on the runner's worker pool.
 func Collect(r *experiments.Runner) (*Data, error) {
 	var d Data
-	var err error
-	if d.Table1, err = r.Table1(); err != nil {
-		return nil, err
+	var wg sync.WaitGroup
+	errs := make([]error, 5)
+	collect := func(i int, f func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = f()
+		}()
 	}
-	if d.Fig2, err = r.Figure2(); err != nil {
-		return nil, err
-	}
-	if d.Fig3, err = r.Figure3(); err != nil {
-		return nil, err
-	}
-	if d.Fig4, err = r.Figure4(); err != nil {
-		return nil, err
-	}
-	if d.Fig5, err = r.Figure5(); err != nil {
-		return nil, err
+	collect(0, func() (err error) { d.Table1, err = r.Table1(); return })
+	collect(1, func() (err error) { d.Fig2, err = r.Figure2(); return })
+	collect(2, func() (err error) { d.Fig3, err = r.Figure3(); return })
+	collect(3, func() (err error) { d.Fig4, err = r.Figure4(); return })
+	collect(4, func() (err error) { d.Fig5, err = r.Figure5(); return })
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	d.Thresholds = analysis.PaperTable()
 	return &d, nil
