@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // runner memoizes traces and simulation results across all benchmarks in
@@ -545,6 +546,61 @@ func BenchmarkAblationLocks(b *testing.B) {
 	}
 	if quiet > 0 {
 		b.ReportMetric(100*spin/quiet, "spinlock-exec-vs-queue%")
+	}
+}
+
+// benchObservability runs a small full-machine simulation with the given
+// event sink attached (nil = instrumentation disabled, the default).
+func benchObservability(b *testing.B, sink func() obs.Sink) {
+	tr, err := core.Workload("micro-producer", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Baseline(1, config.MP50)
+	cfg.Procs = 8
+	params := cfg.Params(tr.WorkingSet)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := machine.New(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.SetSink(sink())
+		if _, err := m.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObservabilityOff vs BenchmarkObservabilityOn: the ratio is the
+// whole-simulation cost of event instrumentation. Off (nil sink, the
+// disabled-recorder guard on every emit site) is the configuration every
+// experiment runs in, so it must stay indistinguishable from the
+// pre-instrumentation simulator.
+func BenchmarkObservabilityOff(b *testing.B) {
+	benchObservability(b, func() obs.Sink { return nil })
+}
+
+func BenchmarkObservabilityOn(b *testing.B) {
+	benchObservability(b, func() obs.Sink { return &obs.Counting{} })
+}
+
+// TestDisabledSinkZeroAlloc pins the observability contract the simulator
+// relies on: with no sink attached, the emit path allocates nothing — so
+// it is safe to leave the instrumentation calls in every hot loop. Runs
+// under -race too (the guard must not rely on inlining tricks the race
+// detector defeats).
+func TestDisabledSinkZeroAlloc(t *testing.T) {
+	rec := obs.NewRecorder(nil)
+	ev := obs.Event{Kind: obs.KindBusGrant, Node: 3, Peer: -1, At: 42, Dur: 80, Line: 7}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if rec.Enabled() {
+			rec.Emit(ev)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-sink emit path allocates %v bytes/op, want 0", allocs)
 	}
 }
 

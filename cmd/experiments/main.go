@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/stats"
 )
 
@@ -20,7 +21,13 @@ func main() {
 	chart := flag.Bool("chart", false, "render figures 3-5 as stacked bar charts")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	check(err)
+	defer stopProf()
 
 	r := experiments.NewRunner()
 	r.Jobs = *jobs

@@ -11,6 +11,7 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
@@ -18,7 +19,15 @@ func main() {
 	out := flag.String("o", "report.html", "output file")
 	verbose := flag.Bool("v", false, "progress to stderr")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	r := experiments.NewRunner()
 	r.Jobs = *jobs

@@ -218,3 +218,59 @@ func TestForEachProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestVictimSelectionEdgeCases pins the victim-choice rules the attraction
+// memories' accept-based replacement depends on: invalid ways always win,
+// rank beats recency, recency breaks rank ties, and a rank function is
+// ignored for invalid ways.
+func TestVictimSelectionEdgeCases(t *testing.T) {
+	rank := func(s State) int {
+		if s == 1 { // "Shared": evict first
+			return 0
+		}
+		return 1
+	}
+	cases := []struct {
+		name    string
+		fill    [][2]uint64 // line, state
+		insert  uint64
+		victim  uint64
+		evicted bool
+	}{
+		{
+			name:   "invalid-way-preferred-over-ranked",
+			fill:   [][2]uint64{{10, 1}}, // one low-rank line, one free way
+			insert: 30, evicted: false,
+		},
+		{
+			name:   "rank-beats-recency",
+			fill:   [][2]uint64{{10, 2}, {20, 1}}, // 20 is newer but low rank
+			insert: 30, victim: 20, evicted: true,
+		},
+		{
+			name:   "lru-breaks-rank-tie",
+			fill:   [][2]uint64{{10, 2}, {20, 2}},
+			insert: 30, victim: 10, evicted: true,
+		},
+		{
+			name:   "reinsert-refreshes-not-evicts",
+			fill:   [][2]uint64{{10, 2}, {20, 2}},
+			insert: 10, evicted: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(Config{Name: "t", Sets: 1, Ways: 2, VictimRank: rank})
+			for _, f := range tc.fill {
+				c.Insert(addrspace.Line(f[0]), State(f[1]))
+			}
+			v, evicted := c.Insert(addrspace.Line(tc.insert), 2)
+			if evicted != tc.evicted {
+				t.Fatalf("evicted = %v, want %v", evicted, tc.evicted)
+			}
+			if evicted && uint64(v.Line) != tc.victim {
+				t.Fatalf("victim = %#x, want %#x", uint64(v.Line), tc.victim)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package coma
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/addrspace"
+)
+
+// ErrDisplaced reports that a just-served line is no longer resident at
+// the accessing node: a relocation cascade triggered by the access (or a
+// concurrent injection) pushed it out again. The protocol permits this —
+// the datum survives elsewhere — so randomized checkers treat it as
+// benign while still failing on genuine invariant violations.
+var ErrDisplaced = errors.New("coma: line displaced from the accessing node")
+
+// CheckLine verifies the per-line coherence invariants directly against
+// the tag arrays, independently of the global index bookkeeping:
+//
+//	(1) at most one node holds the line Exclusive or Owner;
+//	(2) an Exclusive copy is the only copy in the machine;
+//	(3) a Shared copy implies an Owner copy on some other node — the
+//	    "memory copy" responsible for the datum exists;
+//	(4) the global index agrees with the tags.
+//
+// A line resident nowhere and indexed nowhere is trivially coherent.
+func (p *Protocol) CheckLine(l addrspace.Line) error {
+	owner := -1
+	var copies uint32
+	for n := 0; n < p.nodes; n++ {
+		st, ok := p.ams[n].Lookup(l)
+		if !ok {
+			continue
+		}
+		switch st {
+		case Shared:
+			copies |= 1 << uint(n)
+		case Owner, Exclusive:
+			if owner >= 0 {
+				return fmt.Errorf("line %#x: two E/O holders (%d and %d)", uint64(l), owner, n)
+			}
+			owner = n
+			copies |= 1 << uint(n)
+		default:
+			return fmt.Errorf("line %#x: bad AM state %d at node %d", uint64(l), st, n)
+		}
+	}
+	info, indexed := p.index[l]
+	if copies == 0 {
+		if indexed {
+			return fmt.Errorf("line %#x: indexed %+v but resident nowhere", uint64(l), info)
+		}
+		return nil
+	}
+	if owner < 0 {
+		return fmt.Errorf("line %#x: Shared copies (mask %#x) with no Owner", uint64(l), copies)
+	}
+	if st, _ := p.ams[owner].Lookup(l); st == Exclusive && copies != 1<<uint(owner) {
+		return fmt.Errorf("line %#x: Exclusive at node %d with replicas (mask %#x)", uint64(l), owner, copies)
+	}
+	if !indexed || int(info.owner) != owner || info.copies != copies {
+		return fmt.Errorf("line %#x: index %+v disagrees with tags (owner %d, mask %#x)",
+			uint64(l), info, owner, copies)
+	}
+	return nil
+}
+
+// CheckServed verifies CheckLine plus the service postcondition: an access
+// just performed by node left a valid (non-Invalid) copy there, so no read
+// is ever served out of Invalid state. When the copy was legitimately
+// displaced by a relocation cascade the returned error wraps ErrDisplaced;
+// any other error is an invariant violation.
+func (p *Protocol) CheckServed(node int, l addrspace.Line) error {
+	if err := p.CheckLine(l); err != nil {
+		return err
+	}
+	if _, ok := p.ams[node].Lookup(l); !ok {
+		return fmt.Errorf("%w: line %#x at node %d", ErrDisplaced, uint64(l), node)
+	}
+	return nil
+}

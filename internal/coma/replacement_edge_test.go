@@ -1,0 +1,171 @@
+package coma
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+)
+
+// amState asserts the line's state at a node (Invalid = absent).
+func amState(t *testing.T, p *Protocol, node int, l addrspace.Line, want cache.State) {
+	t.Helper()
+	got, ok := p.ams[node].Lookup(l)
+	if !ok {
+		got = cache.Invalid
+	}
+	if got != want {
+		t.Fatalf("node %d line %#x: state %s, want %s", node, uint64(l), StateName(got), StateName(want))
+	}
+}
+
+// TestReplacementEdgeCases drives the accept-based replacement machinery
+// through its corner paths with single-set attraction memories (every line
+// collides), asserting exact end states and counters.
+func TestReplacementEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{
+			// The machine's only copy of a line is evicted: the datum
+			// must be injected into another AM, never dropped.
+			name: "last-copy-displacement",
+			run: func(t *testing.T) {
+				p := NewProtocol(Config{Nodes: 2, SetsPerAM: 1, Ways: 1})
+				p.Read(0, 0) // E at node 0
+				eff := p.Read(0, 1)
+				if len(eff.Txns) != 1 || eff.Txns[0].Class != TxnReplace || !eff.Txns[0].Data {
+					t.Fatalf("want one data-carrying replace txn, got %+v", eff.Txns)
+				}
+				st := p.Stats()
+				if st.Injects != 1 || st.ForcedDrops != 0 {
+					t.Fatalf("Injects=%d ForcedDrops=%d, want 1,0", st.Injects, st.ForcedDrops)
+				}
+				amState(t, p, 1, 0, Exclusive) // displaced line lives on at node 1
+				amState(t, p, 0, 1, Exclusive)
+				if err := p.CheckLine(0); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			// An Owner with surviving Shared replicas is evicted: ownership
+			// transfers to a replica by an address-only transaction — no
+			// data moves on the bus.
+			name: "owner-promotion",
+			run: func(t *testing.T) {
+				p := NewProtocol(Config{Nodes: 2, SetsPerAM: 1, Ways: 1})
+				p.Read(0, 0) // E at node 0
+				p.Read(1, 0) // O at node 0, S at node 1
+				eff := p.Read(0, 1)
+				if len(eff.Txns) != 1 || eff.Txns[0].Class != TxnReplace || eff.Txns[0].Data {
+					t.Fatalf("want one address-only replace txn, got %+v", eff.Txns)
+				}
+				st := p.Stats()
+				if st.Promotes != 1 || st.Injects != 0 {
+					t.Fatalf("Promotes=%d Injects=%d, want 1,0", st.Promotes, st.Injects)
+				}
+				amState(t, p, 1, 0, Owner) // the replica inherited ownership
+				if err := p.CheckLine(0); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			// Every candidate way holds a Shared line only: the receiver
+			// accepts by silently dropping its Shared victim (the Owner
+			// elsewhere keeps the datum) — no avalanche.
+			name: "injection-drops-shared-way",
+			run: func(t *testing.T) {
+				p := NewProtocol(Config{Nodes: 3, SetsPerAM: 1, Ways: 1})
+				p.Read(2, 1) // E at node 2
+				p.Read(1, 1) // O at node 2, S at node 1
+				p.Read(0, 0) // E at node 0
+				p.Read(0, 2) // evicts line 0: nodes 1 and 2 are full, node 1 holds only S
+				st := p.Stats()
+				if st.Injects != 1 || st.SharedDrops != 1 || st.ForcedDrops != 0 {
+					t.Fatalf("Injects=%d SharedDrops=%d ForcedDrops=%d, want 1,1,0",
+						st.Injects, st.SharedDrops, st.ForcedDrops)
+				}
+				amState(t, p, 1, 0, Exclusive) // injected over the dropped S copy
+				amState(t, p, 2, 1, Owner)     // datum of the dropped copy survives
+				if owner, copies := p.Holders(1); owner != 2 || copies != 1<<2 {
+					t.Fatalf("line 1 holders = (%d, %#x), want (2, 0x4)", owner, copies)
+				}
+				if err := p.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			// Every way of the set in every node refuses (all E/O): the
+			// forced injection cascades and the bound converts the
+			// pathological livelock into a counted drop; invariants hold
+			// and the dropped line refetches cold.
+			name: "full-machine-forced-cascade",
+			run: func(t *testing.T) {
+				p := NewProtocol(Config{Nodes: 2, SetsPerAM: 1, Ways: 1})
+				p.Read(0, 0) // E at node 0
+				p.Read(1, 1) // E at node 1
+				eff := p.Read(0, 2)
+				st := p.Stats()
+				if st.ForcedDrops == 0 || eff.Drops == 0 {
+					t.Fatalf("full machine must end in a forced drop: stats %+v eff %+v", st, eff)
+				}
+				if st.Injects == 0 {
+					t.Fatal("cascade performed no injections before the bound")
+				}
+				if err := p.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				// The dropped line is gone everywhere and refetches cold.
+				var dropped addrspace.Line = 99
+				for _, l := range []addrspace.Line{0, 1, 2} {
+					if owner, _ := p.Holders(l); owner < 0 {
+						dropped = l
+					}
+				}
+				if dropped == 99 {
+					t.Fatal("no line was dropped")
+				}
+				cold := p.Stats().ColdAllocs
+				p.Read(1, dropped)
+				if p.Stats().ColdAllocs != cold+1 {
+					t.Fatal("dropped line did not refetch cold")
+				}
+			},
+		},
+		{
+			// With promotion disabled an evicted Owner injects its data
+			// even though replicas survive; the injected copy stays Owner.
+			name: "no-promote-injects-owner",
+			run: func(t *testing.T) {
+				p := NewProtocol(Config{
+					Nodes: 3, SetsPerAM: 1, Ways: 2,
+					Policy:    Policy{VictimSharedFirst: true, AcceptPriority: true},
+					PolicySet: true,
+				})
+				p.Read(0, 0) // E at node 0
+				p.Read(1, 0) // O at node 0, S at node 1
+				p.Read(1, 4) // fills node 1's second way (keeps it off the invalid-way scan)
+				p.Read(0, 3) // fills node 0's second way
+				// Evict the Owner (Shared-first doesn't apply: node 0 has
+				// no Shared ways; LRU picks line 0).
+				p.Read(0, 6)
+				st := p.Stats()
+				if st.Promotes != 0 || st.Injects != 1 {
+					t.Fatalf("Promotes=%d Injects=%d, want 0,1", st.Promotes, st.Injects)
+				}
+				amState(t, p, 2, 0, Owner) // injected to the empty node, still Owner
+				amState(t, p, 1, 0, Shared)
+				if err := p.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}

@@ -8,7 +8,10 @@
 // service with queueing delay when the resource is busy.
 package engine
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Time is a simulation timestamp or duration in nanoseconds.
 type Time int64
@@ -31,6 +34,70 @@ func Max(a, b Time) Time {
 	return b
 }
 
+// waitBounds are the wait-histogram bucket upper bounds (inclusive, ns):
+// zero-wait claims first, then doublings spanning one bus phase up to deep
+// queueing. The final bucket of WaitHist is the unbounded overflow.
+var waitBounds = [...]Time{0, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120}
+
+// WaitHist is a histogram of per-claim queueing delays (time between a
+// request's arrival and its service start).
+type WaitHist struct {
+	Counts [len(waitBounds) + 1]int64
+}
+
+func (h *WaitHist) add(w Time) {
+	for i, b := range waitBounds {
+		if w <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(waitBounds)]++
+}
+
+// WaitBuckets returns the bucket upper bounds in nanoseconds (the final
+// overflow bucket is unbounded).
+func WaitBuckets() []int64 {
+	out := make([]int64, len(waitBounds))
+	for i, b := range waitBounds {
+		out[i] = int64(b)
+	}
+	return out
+}
+
+// Total returns the number of recorded claims.
+func (h *WaitHist) Total() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// String renders the non-empty buckets compactly, e.g.
+// "0ns:90.0% <=40ns:10.0%".
+func (h *WaitHist) String() string {
+	total := h.Total()
+	if total == 0 {
+		return "no claims"
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		label := "<=inf"
+		switch {
+		case i == 0:
+			label = "0ns"
+		case i < len(waitBounds):
+			label = fmt.Sprintf("<=%dns", int64(waitBounds[i]))
+		}
+		fmt.Fprintf(&sb, "%s:%.1f%% ", label, 100*float64(c)/float64(total))
+	}
+	return strings.TrimSpace(sb.String())
+}
+
 // Resource models a unit-capacity, FCFS-served hardware resource such as a
 // DRAM bank, a node controller or a shared bus. A request arriving at time
 // t begins service at max(t, freeAt) and occupies the resource for its
@@ -42,6 +109,10 @@ type Resource struct {
 	// busyTotal accumulates occupied time, for utilization reporting.
 	busyTotal Time
 	claims    int64
+	// waitTotal and waits profile queueing delay: how long claims sat
+	// behind earlier work before starting service.
+	waitTotal Time
+	waits     WaitHist
 }
 
 // NewResource returns an idle resource with the given diagnostic name.
@@ -63,6 +134,8 @@ func (r *Resource) Claim(at, occ Time) (start Time) {
 	r.freeAt = start + occ
 	r.busyTotal += occ
 	r.claims++
+	r.waitTotal += start - at
+	r.waits.add(start - at)
 	return start
 }
 
@@ -79,9 +152,17 @@ func (r *Resource) BusyTotal() Time { return r.busyTotal }
 // Claims reports the number of Claim calls since construction or Reset.
 func (r *Resource) Claims() int64 { return r.claims }
 
+// WaitTotal reports total queueing delay since construction or Reset.
+func (r *Resource) WaitTotal() Time { return r.waitTotal }
+
+// Waits returns the queueing-delay histogram since construction or Reset.
+func (r *Resource) Waits() WaitHist { return r.waits }
+
 // Reset clears utilization counters but leaves the schedule (freeAt)
 // intact, so statistics can be restricted to a measured region.
 func (r *Resource) Reset() {
 	r.busyTotal = 0
 	r.claims = 0
+	r.waitTotal = 0
+	r.waits = WaitHist{}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -34,6 +35,45 @@ func TestResourceQueueing(t *testing.T) {
 	}
 }
 
+func TestResourceWaitStats(t *testing.T) {
+	r := NewResource("bus")
+	r.Claim(0, 20)  // idle: wait 0
+	r.Claim(5, 20)  // queued behind the first: wait 15
+	r.Claim(10, 20) // queued behind both: wait 30
+	if r.WaitTotal() != 45 {
+		t.Fatalf("WaitTotal = %v, want 45", r.WaitTotal())
+	}
+	h := r.Waits()
+	if h.Total() != 3 {
+		t.Fatalf("hist total = %d, want 3", h.Total())
+	}
+	// Buckets: 0 -> bucket 0; 15 -> <=20; 30 -> <=40.
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("hist = %v", h.Counts)
+	}
+}
+
+func TestWaitHistOverflowAndString(t *testing.T) {
+	r := NewResource("dram")
+	r.Claim(0, 10000)
+	r.Claim(0, 10) // waits 10000ns: overflow bucket
+	h := r.Waits()
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("overflow not counted: %v", h.Counts)
+	}
+	s := h.String()
+	if !strings.Contains(s, "0ns:50.0%") || !strings.Contains(s, "<=inf:50.0%") {
+		t.Fatalf("String = %q", s)
+	}
+	var empty WaitHist
+	if empty.String() != "no claims" {
+		t.Fatalf("empty String = %q", empty.String())
+	}
+	if len(WaitBuckets()) != len(h.Counts)-1 {
+		t.Fatal("WaitBuckets/Counts length mismatch")
+	}
+}
+
 func TestResourceProbe(t *testing.T) {
 	r := NewResource("nc")
 	r.Claim(0, 24)
@@ -48,11 +88,16 @@ func TestResourceProbe(t *testing.T) {
 func TestResourceReset(t *testing.T) {
 	r := NewResource("x")
 	r.Claim(0, 100)
+	r.Claim(0, 50)
 	r.Reset()
 	if r.BusyTotal() != 0 || r.Claims() != 0 {
 		t.Fatal("Reset must clear counters")
 	}
-	if r.FreeAt() != 100 {
+	h := r.Waits()
+	if r.WaitTotal() != 0 || h.Total() != 0 {
+		t.Fatal("Reset must clear wait stats")
+	}
+	if r.FreeAt() != 150 {
 		t.Fatal("Reset must not clear the schedule")
 	}
 }

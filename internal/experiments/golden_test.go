@@ -96,6 +96,59 @@ func TestGoldenFigure3(t *testing.T) {
 	checkGolden(t, "figure3.golden", sb.String())
 }
 
+func TestGoldenFigure4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration in -short mode")
+	}
+	f, err := golden8().Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure4.golden", sb.String())
+}
+
+// The four §4.3 sensitivity studies share one golden: they are small
+// tables whose numbers all derive from the same memoized run set.
+func TestGoldenSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration in -short mode")
+	}
+	r := golden8()
+	var sb strings.Builder
+	dram, err := r.SensitivityDRAM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := r.SensitivityNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := r.SensitivityBus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	studies := append(append([]*Sens{}, dram...), node)
+	studies = append(studies, bus...)
+	for _, s := range studies {
+		if err := s.Write(&sb); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintln(&sb)
+	}
+	press, err := r.SensitivityPressure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePressure(&sb, press); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sensitivity.golden", sb.String())
+}
+
 func TestGoldenFigure5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden regeneration in -short mode")

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/coma"
+	"repro/internal/config"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// InspectRow is one (application, configuration) run's observability view:
+// the full Result including per-resource utilization, queueing histograms
+// and the protocol transition matrix.
+type InspectRow struct {
+	App   string
+	Cfg   config.Machine
+	Label string
+	Res   *machine.Result
+}
+
+// CfgLabel renders a configuration compactly and unambiguously for table
+// rows and CSV keys.
+func CfgLabel(c config.Machine) string {
+	s := fmt.Sprintf("%dp/node mp=%s %dway", c.ProcsPerNode, c.Pressure.Label, c.AMWays)
+	if c.DRAMBandwidth != 1 {
+		s += fmt.Sprintf(" dram=%gx", c.DRAMBandwidth)
+	}
+	if c.NCBandwidth != 1 {
+		s += fmt.Sprintf(" nc=%gx", c.NCBandwidth)
+	}
+	if c.BusBandwidth != 1 {
+		s += fmt.Sprintf(" bus=%gx", c.BusBandwidth)
+	}
+	return s
+}
+
+// Inspect simulates the full apps x configs matrix on the worker pool and
+// returns rows in application-major, configuration-minor order. Like every
+// Runner matrix, aggregation happens after the pool barrier in input
+// order, so the rows (and anything rendered from them) are identical for
+// any Jobs setting.
+func (r *Runner) Inspect(appNames []string, cfgs []config.Machine) ([]InspectRow, error) {
+	var jobs []job
+	for _, a := range appNames {
+		for _, c := range cfgs {
+			jobs = append(jobs, job{a, c})
+		}
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]InspectRow, len(jobs))
+	for i, j := range jobs {
+		rows[i] = InspectRow{App: j.app, Cfg: j.cfg, Label: CfgLabel(j.cfg), Res: results[i]}
+	}
+	return rows, nil
+}
+
+// WriteUtilization renders per-resource utilization and queueing tables,
+// one block per run.
+func WriteUtilization(w io.Writer, rows []InspectRow) error {
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s  %s  exec=%v\n", row.App, row.Label, row.Res.ExecTime)
+		t := stats.NewTable("resource", "util", "busy(ns)", "claims", "wait(ns)", "mean wait", "wait distribution")
+		for _, u := range row.Res.Resources {
+			t.Row(u.Name, stats.Pct(u.Utilization(row.Res.ExecTime)), u.BusyNs, u.Claims,
+				u.WaitNs, fmt.Sprintf("%.1fns", u.MeanWaitNs()), u.Waits.String())
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteUtilizationCSV renders the same data as one flat CSV.
+func WriteUtilizationCSV(w io.Writer, rows []InspectRow) error {
+	if _, err := fmt.Fprintln(w, "app,cfg,resource,util,busy_ns,claims,wait_ns,mean_wait_ns"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for _, u := range row.Res.Resources {
+			_, err := fmt.Fprintf(w, "%s,%s,%s,%.6f,%d,%d,%d,%.3f\n",
+				row.App, row.Label, u.Name, u.Utilization(row.Res.ExecTime),
+				u.BusyNs, u.Claims, u.WaitNs, u.MeanWaitNs())
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stateNames orders the AM states for transition-matrix rendering.
+var stateNames = [4]string{"I", "S", "O", "E"}
+
+// WriteTransitions renders the protocol transition count matrix of each
+// run (measured section; rows = from-state, columns = to-state).
+func WriteTransitions(w io.Writer, rows []InspectRow) error {
+	for _, row := range rows {
+		m := row.Res.Protocol.Transitions
+		fmt.Fprintf(w, "%s  %s  transitions=%d\n", row.App, row.Label, row.Res.Protocol.TransitionTotal())
+		t := stats.NewTable("from\\to", "I", "S", "O", "E")
+		for from := 0; from < 4; from++ {
+			t.Row(stateNames[from], m[from][0], m[from][1], m[from][2], m[from][3])
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteTransitionsCSV renders the transition matrices as one flat CSV.
+func WriteTransitionsCSV(w io.Writer, rows []InspectRow) error {
+	if _, err := fmt.Fprintln(w, "app,cfg,from,to,count"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		m := row.Res.Protocol.Transitions
+		for from := 0; from < 4; from++ {
+			for to := 0; to < 4; to++ {
+				if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d\n",
+					row.App, row.Label, stateNames[from], stateNames[to], m[from][to]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// protocolCounters flattens the protocol counter snapshot into labelled
+// columns shared by the text and CSV renderers.
+func protocolCounters(s coma.Stats) ([]string, []int64) {
+	return []string{
+			"reads", "read_misses", "writes", "write_misses", "upgrades", "updates",
+			"cold_allocs", "injects", "promotes", "shared_drops", "forced_drops", "transitions",
+		}, []int64{
+			s.Reads, s.ReadMisses, s.Writes, s.WriteMisses, s.Upgrades, s.Updates,
+			s.ColdAllocs, s.Injects, s.Promotes, s.SharedDrops, s.ForcedDrops, s.TransitionTotal(),
+		}
+}
+
+// WriteProtocol renders the protocol counters, one table row per run.
+func WriteProtocol(w io.Writer, rows []InspectRow) error {
+	names, _ := protocolCounters(coma.Stats{})
+	header := append([]string{"application", "cfg"}, names...)
+	t := stats.NewTable(header...)
+	for _, row := range rows {
+		_, vals := protocolCounters(row.Res.Protocol)
+		cells := make([]interface{}, 0, len(vals)+2)
+		cells = append(cells, row.App, row.Label)
+		for _, v := range vals {
+			cells = append(cells, v)
+		}
+		t.Row(cells...)
+	}
+	return t.Write(w)
+}
+
+// WriteProtocolCSV renders the protocol counters as one flat CSV.
+func WriteProtocolCSV(w io.Writer, rows []InspectRow) error {
+	names, _ := protocolCounters(coma.Stats{})
+	if _, err := fmt.Fprintln(w, "app,cfg,counter,value"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		_, vals := protocolCounters(row.Res.Protocol)
+		for i, name := range names {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d\n", row.App, row.Label, name, vals[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -6,9 +6,29 @@ import (
 	"testing/quick"
 
 	"repro/internal/addrspace"
+	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+// checkCoherence runs the per-line coherence checker over every line
+// resident in any attraction memory. After a completed run nothing is
+// mid-relocation, so even ErrDisplaced would be a bug here.
+func checkCoherence(t *testing.T, m *Machine) bool {
+	p := m.Protocol()
+	seen := make(map[addrspace.Line]bool)
+	for n := 0; n < p.Nodes(); n++ {
+		p.AM(n).ForEach(func(e cache.Entry) { seen[e.Line] = true })
+	}
+	for l := range seen {
+		if err := p.CheckLine(l); err != nil {
+			t.Logf("coherence: %v", err)
+			return false
+		}
+	}
+	return true
+}
 
 // randomTrace builds a structurally valid random workload: mixed reads,
 // writes, computes, lock pairs and barriers over a bounded address range.
@@ -71,6 +91,8 @@ func TestMachineFuzz(t *testing.T) {
 			t.Logf("new: %v", err)
 			return false
 		}
+		var sink obs.Counting
+		m.SetSink(&sink)
 		res, err := m.Run(tr)
 		if err != nil {
 			t.Logf("run: %v", err)
@@ -78,6 +100,16 @@ func TestMachineFuzz(t *testing.T) {
 		}
 		if err := m.CheckState(); err != nil {
 			t.Logf("state: %v", err)
+			return false
+		}
+		if !checkCoherence(t, m) {
+			return false
+		}
+		// The event stream covers the whole run, the Result only the
+		// measured section: stream counts bound the Result's.
+		if sink.TransitionTotal() < res.Protocol.TransitionTotal() {
+			t.Logf("event transitions %d < stats transitions %d",
+				sink.TransitionTotal(), res.Protocol.TransitionTotal())
 			return false
 		}
 		for i, ps := range res.Procs {
@@ -118,7 +150,7 @@ func TestMachinePolicyFuzz(t *testing.T) {
 			t.Logf("run: %v", err)
 			return false
 		}
-		return m.CheckState() == nil
+		return m.CheckState() == nil && checkCoherence(t, m)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coma"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -114,6 +115,12 @@ type Machine struct {
 
 	occDRAM, occNC, occBus engine.Time
 
+	// rec forwards instrumentation events to an optional sink; now tracks
+	// the clock of the processor currently stepping, so protocol-level
+	// events (which have no clock of their own) can be timestamped.
+	rec obs.Recorder
+	now engine.Time
+
 	measuring      bool
 	reads          int64
 	readNodeMisses int64
@@ -182,6 +189,19 @@ func NewWithMem(p Params, buildMem func(purge func(node int, l addrspace.Line, e
 
 // Protocol exposes the protocol for tests and tools.
 func (m *Machine) Protocol() *coma.Protocol { return m.prot }
+
+// SetSink installs an observability sink receiving machine-level events
+// (bus grants, write-buffer stalls, sync arrivals) and, when the COMA
+// protocol is in use, protocol-level events (state transitions,
+// replacements). A nil sink disables instrumentation; the disabled path
+// costs nothing. Install before Run.
+func (m *Machine) SetSink(s obs.Sink) {
+	m.rec = obs.NewRecorder(s)
+	if m.prot != nil {
+		m.prot.SetSink(s)
+		m.prot.SetClock(func() int64 { return int64(m.now) })
+	}
+}
 
 // onPurge keeps private caches included in the AM: any AM line loss purges
 // the node's L1s and SLCs, except replacement evictions in the
@@ -263,6 +283,7 @@ func (m *Machine) next() *proc {
 
 // step executes one trace record for p.
 func (m *Machine) step(p *proc) {
+	m.now = p.t
 	if p.pc >= len(p.refs) {
 		// Released from a final barrier with nothing left to run.
 		m.finish(p)
@@ -380,8 +401,7 @@ func (m *Machine) chargeAsync(node int, eff coma.Effect, at engine.Time) {
 		if txn.Data {
 			phases = 2
 		}
-		start := m.bus.Claim(at, phases*m.occBus)
-		m.traffic(txn.Class, phases*m.occBus)
+		start := m.claimBus(node, at, phases*m.occBus, txn.Class)
 		if txn.Remote >= 0 {
 			rn := m.nodes[txn.Remote]
 			s2 := rn.nc.Claim(start+phases*DefaultBusPhase, m.occNC)
@@ -418,6 +438,16 @@ func (m *Machine) doWrite(p *proc, a addrspace.Addr) {
 	p.retireDrains()
 	if len(p.wb) >= m.params.WriteBufferDepth {
 		head := p.wb[0]
+		if m.rec.Enabled() {
+			m.rec.Emit(obs.Event{
+				Kind:  obs.KindWBStall,
+				At:    int64(p.t),
+				Node:  int32(p.id),
+				Peer:  -1,
+				Class: uint8(head.class),
+				Dur:   int64(head.done - p.t),
+			})
+		}
 		m.stall(p, head.class, head.done-p.t)
 		p.t = head.done
 		p.retireDrains()
@@ -498,32 +528,28 @@ func (m *Machine) charge(node int, slcRes *engine.Resource, at engine.Time, eff 
 		case txn.Class == coma.TxnReplace:
 			// Replacements ride buffers off the critical path; they
 			// occupy the bus and the receiver's resources.
-			m.chargeReplace(txn, t)
+			m.chargeReplace(node, txn, t)
 		case txn.Data && txn.Remote < 0:
 			// Data broadcast (update-policy write): one bus transfer,
 			// absorbed by the snooping sharers.
 			remote = true
-			start = m.bus.Claim(t, 2*m.occBus)
-			m.traffic(txn.Class, 2*m.occBus)
+			start = m.claimBus(node, t, 2*m.occBus, txn.Class)
 			t = start + 2*DefaultBusPhase
 		case txn.Data:
 			// Request/response data transfer on the critical path.
 			remote = true
-			start = m.bus.Claim(t, m.occBus)
-			m.traffic(txn.Class, m.occBus)
+			start = m.claimBus(node, t, m.occBus, txn.Class)
 			t = start + DefaultBusPhase
 			rn := m.nodes[txn.Remote]
 			start = rn.nc.Claim(t, m.occNC)
 			t = start + DefaultNCTime
 			start = rn.dram.Claim(t, m.occDRAM)
 			t = start + DefaultDRAMTime
-			start = m.bus.Claim(t, m.occBus)
-			m.traffic(txn.Class, m.occBus)
+			start = m.claimBus(node, t, m.occBus, txn.Class)
 			t = start + DefaultBusPhase
 		default:
 			// Address-only invalidation broadcast on the critical path.
-			start = m.bus.Claim(t, m.occBus)
-			m.traffic(txn.Class, m.occBus)
+			start = m.claimBus(node, t, m.occBus, txn.Class)
 			t = start + DefaultBusPhase
 		}
 	}
@@ -544,17 +570,35 @@ func (m *Machine) charge(node int, slcRes *engine.Resource, at engine.Time, eff 
 // chargeReplace accounts a replacement transaction starting around time t:
 // injections move a data line (two bus phases, receiver NC + DRAM);
 // ownership promotions are a single address-only phase.
-func (m *Machine) chargeReplace(txn coma.Txn, t engine.Time) {
+func (m *Machine) chargeReplace(node int, txn coma.Txn, t engine.Time) {
 	if !txn.Data {
-		m.bus.Claim(t, m.occBus)
-		m.traffic(coma.TxnReplace, m.occBus)
+		m.claimBus(node, t, m.occBus, coma.TxnReplace)
 		return
 	}
-	start := m.bus.Claim(t, 2*m.occBus)
-	m.traffic(coma.TxnReplace, 2*m.occBus)
+	start := m.claimBus(node, t, 2*m.occBus, coma.TxnReplace)
 	rn := m.nodes[txn.Remote]
 	start = rn.nc.Claim(start+2*DefaultBusPhase, m.occNC)
 	rn.dram.Claim(start+DefaultNCTime, m.occDRAM)
+}
+
+// claimBus is the single gateway to the global bus: it claims occupancy,
+// accounts traffic by class and emits a bus-grant event when a sink is
+// installed. All bus claims must go through it so tracing sees every
+// transaction.
+func (m *Machine) claimBus(node int, at, occ engine.Time, class coma.TxnClass) engine.Time {
+	start := m.bus.Claim(at, occ)
+	m.traffic(class, occ)
+	if m.rec.Enabled() {
+		m.rec.Emit(obs.Event{
+			Kind:  obs.KindBusGrant,
+			At:    int64(start),
+			Node:  int32(node),
+			Peer:  -1,
+			Class: uint8(class),
+			Dur:   int64(occ),
+		})
+	}
+	return start
 }
 
 func (m *Machine) traffic(c coma.TxnClass, occ engine.Time) {
@@ -576,6 +620,16 @@ func (m *Machine) lock(id uint32) *lockState {
 func (m *Machine) doAcquire(p *proc, r trace.Ref) bool {
 	lk := m.lock(r.ID)
 	if lk.held {
+		if m.rec.Enabled() {
+			m.rec.Emit(obs.Event{
+				Kind:  obs.KindSyncArrive,
+				At:    int64(p.t),
+				Node:  int32(p.id),
+				Peer:  int32(lk.holder),
+				Class: obs.SyncLockWait,
+				Line:  uint64(r.ID),
+			})
+		}
 		lk.waiters = append(lk.waiters, p.id)
 		p.blocked = true
 		p.blockAt = p.t
@@ -659,6 +713,16 @@ func (m *Machine) doBarrier(p *proc, r trace.Ref) {
 	} else if b.id != r.ID || b.measure != (r.Kind == trace.MeasureStart) {
 		panic(fmt.Sprintf("machine: proc %d at barrier %d while barrier %d in flight", p.id, r.ID, b.id))
 	}
+	if m.rec.Enabled() {
+		m.rec.Emit(obs.Event{
+			Kind:  obs.KindSyncArrive,
+			At:    int64(p.t),
+			Node:  int32(p.id),
+			Peer:  -1,
+			Class: obs.SyncBarrier,
+			Line:  uint64(r.ID),
+		})
+	}
 	b.arrived = append(b.arrived, p.id)
 	b.arriveAt = append(b.arriveAt, p.t)
 	p.blocked = true
@@ -718,6 +782,13 @@ func (m *Machine) result() *Result {
 		ReadLatency:    m.latency,
 		Protocol:       m.mem.Stats(),
 	}
+	res.Resources = append(res.Resources, resUse(m.bus))
+	for _, nr := range m.nodes {
+		res.Resources = append(res.Resources, resUse(nr.nc), resUse(nr.dram))
+	}
+	for _, p := range m.procs {
+		res.Resources = append(res.Resources, resUse(p.slcRes))
+	}
 	for c := range m.busOcc {
 		res.BusOccupancy[c] = m.busOcc[c]
 	}
@@ -737,4 +808,14 @@ func (m *Machine) result() *Result {
 		}
 	}
 	return res
+}
+
+func resUse(r *engine.Resource) ResUse {
+	return ResUse{
+		Name:   r.Name(),
+		BusyNs: int64(r.BusyTotal()),
+		Claims: r.Claims(),
+		WaitNs: int64(r.WaitTotal()),
+		Waits:  r.Waits(),
+	}
 }

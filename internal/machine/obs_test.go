@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// obsTrace is a small deterministic workload with enough variety to emit
+// every event kind: reads, writes past the write-buffer depth, lock
+// contention and barriers.
+func obsTrace(procs int) *trace.Trace {
+	rng := rand.New(rand.NewSource(7))
+	return randomTrace(rng, procs)
+}
+
+// Instrumentation must be a pure observer: a machine with a sink installed
+// produces a bit-identical Result to one without.
+func TestInstrumentationDoesNotPerturb(t *testing.T) {
+	tr := obsTrace(8)
+	run := func(sink obs.Sink) *Result {
+		m, err := New(tinyParams(8, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sink != nil {
+			m.SetSink(sink)
+		}
+		res, err := m.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	traced := run(&obs.Counting{})
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatal("installing a sink changed the simulation result")
+	}
+}
+
+// The event stream must be consistent with the aggregate statistics: the
+// sink sees the whole run, the Result only the measured section, so every
+// Result counter is bounded by its event-stream counterpart.
+func TestEventStreamConsistency(t *testing.T) {
+	tr := obsTrace(8)
+	// Small attraction memories force replacement traffic so the
+	// replacement event kind is exercised too.
+	params := DefaultParams(8, 2, 2048, 4*1024)
+	params.L1Bytes = 512
+	m, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count obs.Counting
+	ring := obs.NewRing(1 << 16)
+	var sb strings.Builder
+	jsonl := obs.NewJSONL(&sb)
+	m.SetSink(obs.Tee{&count, ring, jsonl})
+	res, err := m.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonl.Err() != nil {
+		t.Fatal(jsonl.Err())
+	}
+	if count.Total() == 0 {
+		t.Fatal("no events emitted")
+	}
+	for k := obs.KindBusGrant; int(k) < obs.NumKinds; k++ {
+		if count.Kinds[k] == 0 {
+			t.Errorf("no %s events from a workload with reads, writes, locks and barriers", k)
+		}
+	}
+	if got, want := count.TransitionTotal(), res.Protocol.TransitionTotal(); got < want {
+		t.Errorf("event-stream transitions %d < measured-section transitions %d", got, want)
+	}
+	var busEvents int64
+	for _, ns := range count.BusOccNs {
+		busEvents += ns
+	}
+	if busEvents < int64(res.BusTotal()) {
+		t.Errorf("event-stream bus occupancy %d < measured bus occupancy %d", busEvents, res.BusTotal())
+	}
+	if ring.Total() != count.Total() {
+		t.Errorf("tee skew: ring saw %d events, counter %d", ring.Total(), count.Total())
+	}
+	if got := int64(strings.Count(sb.String(), "\n")); got != count.Total() {
+		t.Errorf("JSONL lines %d != events %d", got, count.Total())
+	}
+	// The single global bus serves claims in order: bus-grant timestamps
+	// are non-decreasing over the whole stream.
+	prev := int64(-1)
+	for _, e := range ring.Events() {
+		if e.Kind != obs.KindBusGrant {
+			continue
+		}
+		if e.At < prev {
+			t.Fatalf("bus-grant timestamps regressed: %d after %d", e.At, prev)
+		}
+		prev = e.At
+	}
+}
+
+// Result.Resources reports the measured-section usage of every resource in
+// a fixed order, consistent with the utilization summaries.
+func TestResultResources(t *testing.T) {
+	tr := obsTrace(8)
+	params := tinyParams(8, 2)
+	m, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := params.Nodes()
+	if want := 1 + 2*nodes + params.Procs; len(res.Resources) != want {
+		t.Fatalf("Resources len = %d, want %d", len(res.Resources), want)
+	}
+	bus := res.Resources[0]
+	if bus.Name != "bus" {
+		t.Fatalf("Resources[0] = %q, want bus", bus.Name)
+	}
+	if got, want := bus.Utilization(res.ExecTime), res.BusUtilization; got != want {
+		t.Fatalf("bus utilization %v != Result.BusUtilization %v", got, want)
+	}
+	for i, u := range res.Resources {
+		if u.Claims == 0 {
+			continue
+		}
+		if u.Waits.Total() != u.Claims {
+			t.Errorf("resource %d (%s): histogram total %d != claims %d", i, u.Name, u.Waits.Total(), u.Claims)
+		}
+		if u.MeanWaitNs() < 0 {
+			t.Errorf("resource %d (%s): negative mean wait", i, u.Name)
+		}
+	}
+	// The per-node views agree.
+	for n := 0; n < nodes; n++ {
+		nc, dram := res.Resources[1+2*n], res.Resources[2+2*n]
+		if nc.Utilization(res.ExecTime) != res.NodeUtilization[n].NC ||
+			dram.Utilization(res.ExecTime) != res.NodeUtilization[n].DRAM {
+			t.Fatalf("node %d resource rows disagree with NodeUtilization", n)
+		}
+	}
+}

@@ -76,8 +76,38 @@ type Result struct {
 	// ReadLatency is the distribution of per-read completion latencies
 	// (L1 hits land in the 0 ns bucket).
 	ReadLatency LatencyHist
+	// Resources is the measured-section usage of every timing resource,
+	// in a fixed order: bus, then each node's controller and AM DRAM,
+	// then each processor's SLC port.
+	Resources []ResUse
 	// Protocol is the protocol-level counter snapshot.
 	Protocol coma.Stats
+}
+
+// ResUse is one resource's measured-section usage: occupancy, demand and
+// the queueing delay its claimants suffered.
+type ResUse struct {
+	Name   string
+	BusyNs int64
+	Claims int64
+	WaitNs int64
+	Waits  engine.WaitHist
+}
+
+// Utilization returns busy time as a fraction of dur (0 when dur is 0).
+func (u ResUse) Utilization(dur engine.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(u.BusyNs) / float64(dur)
+}
+
+// MeanWaitNs returns the average queueing delay per claim.
+func (u ResUse) MeanWaitNs() float64 {
+	if u.Claims == 0 {
+		return 0
+	}
+	return float64(u.WaitNs) / float64(u.Claims)
 }
 
 // NodeUtil is one node's resource utilization over the measured section.

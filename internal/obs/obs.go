@@ -1,0 +1,137 @@
+// Package obs is the simulator's opt-in observability layer: typed events
+// emitted from the timing core and the coherence protocol, a sink
+// interface to receive them, and ready-made sinks (counting, ring buffer,
+// JSONL stream).
+//
+// Design rules (DESIGN.md §6):
+//
+//   - Disabled is free. Instrumented code guards every emission with
+//     Recorder.Enabled (or a nil-sink check), so the default path does no
+//     event construction and allocates zero bytes — enforced by a
+//     zero-allocation test and the BenchmarkObservability pair.
+//   - Events are plain values. Event is a flat struct of integers; Emit
+//     passes it by value so enabling a counting sink stays allocation-free
+//     on the hot path too.
+//   - Determinism. A simulation run is single-goroutine; events arrive in
+//     a deterministic order for a fixed (trace, machine), so streamed
+//     event logs are byte-stable and safe to diff.
+//
+// The package deliberately imports nothing from the simulator so every
+// layer (engine, coma, machine) can emit without import cycles.
+package obs
+
+import "fmt"
+
+// Kind discriminates event types.
+type Kind uint8
+
+// Event kinds, covering the taxonomy of DESIGN.md §6.
+const (
+	// KindBusGrant: the global bus granted a transaction. Node is the
+	// requesting node, Class the coma.TxnClass (read/write/replace), At
+	// the service start and Dur the bus occupancy.
+	KindBusGrant Kind = iota
+	// KindTransition: an attraction-memory line changed state at a node.
+	// From/To are the protocol states (coma I/S/O/E as uint8), Line the
+	// cache line.
+	KindTransition
+	// KindReplacement: the replacement machinery acted on an evicted
+	// line. Class is a ReplaceKind; Peer the receiving/promoted node (-1
+	// for drops).
+	KindReplacement
+	// KindWBStall: a processor stalled on a full write buffer. Node is
+	// the processor id, Dur the back-pressure stall time.
+	KindWBStall
+	// KindSyncArrive: a processor arrived at a synchronization point.
+	// Class is a SyncKind, Line the barrier/lock id, Node the processor.
+	KindSyncArrive
+
+	numKinds
+)
+
+// NumKinds is the number of event kinds (for per-kind counters).
+const NumKinds = int(numKinds)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBusGrant:
+		return "bus-grant"
+	case KindTransition:
+		return "transition"
+	case KindReplacement:
+		return "replacement"
+	case KindWBStall:
+		return "wb-stall"
+	case KindSyncArrive:
+		return "sync-arrive"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ReplaceKind refines KindReplacement events (stored in Event.Class).
+const (
+	ReplaceInject     uint8 = iota // data line injected into Peer
+	ReplacePromote                 // ownership promoted to Peer, no data
+	ReplaceSharedDrop              // Shared victim dropped silently
+	ReplaceForcedDrop              // cascade overflow, datum dropped
+)
+
+// SyncKind refines KindSyncArrive events (stored in Event.Class).
+const (
+	SyncBarrier uint8 = iota // barrier (or measure-start) arrival
+	SyncLockWait             // blocked behind a held lock
+)
+
+// Event is one observation. Fields are a union over kinds; unused fields
+// are zero. It is a flat value type on purpose: emission never allocates.
+type Event struct {
+	Kind Kind
+	// From/To are protocol states for KindTransition.
+	From, To uint8
+	// Class refines the kind: coma.TxnClass for bus grants, ReplaceKind
+	// for replacements, SyncKind for sync arrivals.
+	Class uint8
+	// Node is the acting node (AM events, bus grants) or processor id
+	// (stalls, sync arrivals).
+	Node int32
+	// Peer is the other party: injection receiver, promoted heir. -1
+	// when not applicable.
+	Peer int32
+	// At is the simulation timestamp in nanoseconds.
+	At int64
+	// Dur is a duration in nanoseconds: bus occupancy, stall time.
+	Dur int64
+	// Line is the cache-line identifier, or a lock/barrier id for sync
+	// arrivals.
+	Line uint64
+}
+
+// Sink receives events. Implementations need not be safe for concurrent
+// use: a machine emits from a single goroutine, and distinct machines
+// must be given distinct sinks (or a deliberately synchronized one).
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder is the nil-safe front end instrumented code holds. The zero
+// Recorder is disabled: Enabled reports false and Emit drops the event
+// without touching the heap.
+type Recorder struct {
+	sink Sink
+}
+
+// NewRecorder wraps a sink; a nil sink yields a disabled recorder.
+func NewRecorder(s Sink) Recorder { return Recorder{sink: s} }
+
+// Enabled reports whether events reach a sink. Hot paths check this
+// before constructing an Event.
+func (r Recorder) Enabled() bool { return r.sink != nil }
+
+// Emit forwards the event to the sink, or drops it when disabled.
+func (r Recorder) Emit(e Event) {
+	if r.sink != nil {
+		r.sink.Emit(e)
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Counting tallies events without retaining them: per-kind counts, a
+// protocol state-transition matrix and per-class bus occupancy. The zero
+// value is ready to use.
+type Counting struct {
+	// Kinds counts events per Kind.
+	Kinds [NumKinds]int64
+	// Transitions[from][to] counts AM state transitions (states are the
+	// coma package's I=0, S=1, O=2, E=3).
+	Transitions [4][4]int64
+	// BusOccNs accumulates bus occupancy per transaction class.
+	BusOccNs [3]int64
+	// WBStallNs accumulates write-buffer back-pressure time.
+	WBStallNs int64
+}
+
+// Emit implements Sink.
+func (c *Counting) Emit(e Event) {
+	c.Kinds[e.Kind]++
+	switch e.Kind {
+	case KindTransition:
+		if e.From < 4 && e.To < 4 {
+			c.Transitions[e.From][e.To]++
+		}
+	case KindBusGrant:
+		if e.Class < 3 {
+			c.BusOccNs[e.Class] += e.Dur
+		}
+	case KindWBStall:
+		c.WBStallNs += e.Dur
+	}
+}
+
+// Total returns the number of events seen.
+func (c *Counting) Total() int64 {
+	var n int64
+	for _, k := range c.Kinds {
+		n += k
+	}
+	return n
+}
+
+// TransitionTotal returns the number of state transitions seen.
+func (c *Counting) TransitionTotal() int64 {
+	var n int64
+	for _, row := range c.Transitions {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Ring keeps the most recent events in a fixed-capacity buffer — the
+// "flight recorder" sink: cheap enough to leave on, and the tail is what
+// an anomaly hunt wants.
+type Ring struct {
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRing returns a ring buffer holding the last n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total returns the number of events ever emitted (not just retained).
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// JSONL streams every event as one JSON object per line. The encoding is
+// hand-rolled with a fixed key order so event logs are byte-stable and
+// diffable across runs.
+type JSONL struct {
+	w   io.Writer
+	err error
+}
+
+// NewJSONL returns a sink writing JSON lines to w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+// Emit implements Sink. The first write error sticks and suppresses
+// further output (check Err after the run).
+func (j *JSONL) Emit(e Event) {
+	if j.err != nil {
+		return
+	}
+	_, j.err = fmt.Fprintf(j.w,
+		`{"kind":%q,"at":%d,"node":%d,"peer":%d,"line":%d,"from":%d,"to":%d,"class":%d,"dur":%d}`+"\n",
+		e.Kind.String(), e.At, e.Node, e.Peer, e.Line, e.From, e.To, e.Class, e.Dur)
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// Tee fans one event stream out to several sinks.
+type Tee []Sink
+
+// Emit implements Sink.
+func (t Tee) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
