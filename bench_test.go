@@ -25,6 +25,39 @@ import (
 // this binary (safe for the concurrent matrices the drivers fan out).
 var runner = experiments.NewRunner()
 
+// BenchmarkSimFigure2Matrix is the tracked whole-simulation benchmark:
+// the full Figure 2 run matrix (14 apps x ppn {1,2,4} at 6% MP, 16
+// processors) on a fresh un-memoized single-worker runner each
+// iteration, so elapsed time is pure simulator throughput. The ns/ref
+// and refs/sec metrics are what cmd/bench records in BENCH_results.json
+// and what the CI bench job gates on.
+func BenchmarkSimFigure2Matrix(b *testing.B) {
+	// References processed per matrix iteration: each app simulates once
+	// per clustering degree.
+	var perIter int64
+	for _, name := range core.Workloads() {
+		tr, err := core.Workload(name, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := tr.Summarize()
+		perIter += 3 * (s.Reads + s.Writes)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		r.Jobs = 1
+		if _, err := r.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	total := float64(perIter) * float64(b.N)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/ref")
+	b.ReportMetric(total/b.Elapsed().Seconds(), "refs/sec")
+}
+
 // freshFigure2 regenerates Figure 2 on a fresh un-memoized 8-processor
 // runner with the given pool width, so the benchmark measures real
 // simulation wall clock rather than cache hits.

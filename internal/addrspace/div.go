@@ -1,0 +1,45 @@
+package addrspace
+
+import "math/bits"
+
+// Div is a precomputed divisor for the set-index modulo on the cache hot
+// path. The attraction memories have "odd" (non-power-of-two) set counts,
+// so indexing cannot be a bit mask; Div replaces the hardware-divide `%`
+// with Lemire's fastmod (one 64-bit multiply pair), exact for any
+// dividend and divisor below 2^32 — far beyond any simulated line number
+// or set count. Larger operands (possible only in fuzz inputs) fall back
+// to plain `%`.
+type Div struct {
+	d    uint64
+	c    uint64 // ceil(2^64 / d)
+	fast bool   // d in [2, 2^32): fastmod is exact for 32-bit dividends
+}
+
+// NewDiv precomputes the reciprocal for divisor d (> 0).
+func NewDiv(d int) Div {
+	if d <= 0 {
+		panic("addrspace: non-positive divisor")
+	}
+	dv := Div{d: uint64(d)}
+	if dv.d > 1 {
+		dv.c = ^uint64(0)/dv.d + 1
+		dv.fast = dv.d < 1<<32
+	}
+	return dv
+}
+
+// Mod returns n % d.
+func (dv Div) Mod(n uint64) int {
+	if dv.fast && n < 1<<32 {
+		hi, _ := bits.Mul64(dv.c*n, dv.d)
+		return int(hi)
+	}
+	if dv.d == 1 {
+		return 0
+	}
+	return int(n % dv.d)
+}
+
+// SetIndexDiv maps the line onto a set using the precomputed divisor;
+// identical to SetIndex(d) for the divisor dv was built with.
+func (l Line) SetIndexDiv(dv Div) int { return dv.Mod(uint64(l)) }

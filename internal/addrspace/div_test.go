@@ -1,0 +1,54 @@
+package addrspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDivMatchesModulo holds fastmod against the hardware `%` across the
+// divisors the caches actually use (odd set counts), powers of two,
+// boundary dividends and random 32-bit operands, plus the >= 2^32
+// fallback path.
+func TestDivMatchesModulo(t *testing.T) {
+	divisors := []int{1, 2, 3, 7, 13, 16, 61, 64, 127, 509, 1021, 4093, 65536, 1 << 20, (1 << 31) - 1}
+	dividends := []uint64{0, 1, 2, 61, 1 << 16, 1<<32 - 1, 1 << 32, 1<<40 + 12345, ^uint64(0)}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 64; i++ {
+		dividends = append(dividends, uint64(rng.Uint32()))
+	}
+	for _, d := range divisors {
+		dv := NewDiv(d)
+		for _, n := range dividends {
+			if got, want := dv.Mod(n), int(n%uint64(d)); got != want {
+				t.Fatalf("Mod(%d) with d=%d: got %d, want %d", n, d, got, want)
+			}
+		}
+	}
+}
+
+func TestDivRejectsNonPositive(t *testing.T) {
+	for _, d := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDiv(%d) must panic", d)
+				}
+			}()
+			NewDiv(d)
+		}()
+	}
+}
+
+// SetIndexDiv must agree with SetIndex for every line/set-count pair.
+func TestSetIndexDivMatchesSetIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, sets := range []int{1, 7, 61, 127, 1021} {
+		dv := NewDiv(sets)
+		for i := 0; i < 200; i++ {
+			l := Line(rng.Uint32())
+			if got, want := l.SetIndexDiv(dv), l.SetIndex(sets); got != want {
+				t.Fatalf("line %#x sets %d: SetIndexDiv %d, SetIndex %d", uint64(l), sets, got, want)
+			}
+		}
+	}
+}

@@ -48,7 +48,7 @@ func TestMicroMigratoryBouncing(t *testing.T) {
 	for p := 0; p < 4; p++ {
 		reads, writes := 0, 0
 		seen := false
-		for _, r := range tr.Streams[p] {
+		for _, r := range tr.Streams[p].Refs() {
 			if r.Kind == trace.MeasureStart {
 				seen = true
 			}

@@ -23,7 +23,7 @@ func measured(st []trace.Ref) []trace.Ref {
 func writersByLine(tr *trace.Trace) map[addrspace.Line]uint32 {
 	w := make(map[addrspace.Line]uint32)
 	for p := range tr.Streams {
-		for _, r := range measured(tr.Streams[p]) {
+		for _, r := range measured(tr.Streams[p].Refs()) {
 			if r.Kind == trace.Write {
 				w[addrspace.LineOf(r.Addr)] |= 1 << uint(p)
 			}
@@ -39,7 +39,7 @@ func readersOfOthersWrites(tr *trace.Trace) []int {
 	out := make([]int, tr.Procs)
 	for p := range tr.Streams {
 		seen := map[addrspace.Line]bool{}
-		for _, r := range measured(tr.Streams[p]) {
+		for _, r := range measured(tr.Streams[p].Refs()) {
 			if r.Kind != trace.Read {
 				continue
 			}
@@ -74,7 +74,7 @@ func TestRadixScatteredWrites(t *testing.T) {
 	tr := Radix(16, 4096, 64)
 	for p := 0; p < tr.Procs; p++ {
 		pages := map[uint64]bool{}
-		for _, r := range measured(tr.Streams[p]) {
+		for _, r := range measured(tr.Streams[p].Refs()) {
 			if r.Kind == trace.Write {
 				pages[addrspace.LineOf(r.Addr).Page()] = true
 			}
@@ -96,7 +96,7 @@ func TestLockPairingAllApps(t *testing.T) {
 		tr := a.Generate(16)
 		for p := 0; p < tr.Procs; p++ {
 			var stack []uint32
-			for i, r := range tr.Streams[p] {
+			for i, r := range tr.Streams[p].Refs() {
 				switch r.Kind {
 				case trace.Acquire:
 					stack = append(stack, r.ID)
@@ -156,7 +156,7 @@ func TestBarnesReadSharedTree(t *testing.T) {
 	tr := Barnes(16, 256, 1)
 	readers := map[addrspace.Line]uint32{}
 	for p := range tr.Streams {
-		for _, r := range measured(tr.Streams[p]) {
+		for _, r := range measured(tr.Streams[p].Refs()) {
 			if r.Kind == trace.Read {
 				readers[addrspace.LineOf(r.Addr)] |= 1 << uint(p)
 			}
@@ -183,7 +183,7 @@ func TestWaterPrivateAccumulators(t *testing.T) {
 	tr := WaterN2(8, 64, 1)
 	touched := map[uint64]uint32{} // page -> proc mask
 	for p := range tr.Streams {
-		for _, r := range tr.Streams[p] {
+		for _, r := range tr.Streams[p].Refs() {
 			if r.Kind == trace.Read || r.Kind == trace.Write {
 				touched[addrspace.LineOf(r.Addr).Page()] |= 1 << uint(p)
 			}

@@ -30,6 +30,7 @@ type Entry struct {
 type Cache struct {
 	name  string
 	sets  int
+	div   addrspace.Div // precomputed set-index divisor (fastmod)
 	ways  int
 	lines []Entry
 	clock uint64
@@ -56,9 +57,19 @@ func New(cfg Config) *Cache {
 	return &Cache{
 		name:       cfg.Name,
 		sets:       cfg.Sets,
+		div:        addrspace.NewDiv(cfg.Sets),
 		ways:       cfg.Ways,
-		lines:      make([]Entry, cfg.Sets*cfg.Ways),
+		lines:      getLines(cfg.Sets * cfg.Ways),
 		victimRank: cfg.VictimRank,
+	}
+}
+
+// Release returns the tag array to the reuse pool. The cache must not be
+// used afterwards.
+func (c *Cache) Release() {
+	if c.lines != nil {
+		putLines(c.lines)
+		c.lines = nil
 	}
 }
 
@@ -70,14 +81,18 @@ func (c *Cache) Name() string   { return c.name }
 func (c *Cache) SizeBytes() int { return c.sets * c.ways * addrspace.LineSize }
 
 func (c *Cache) set(l addrspace.Line) []Entry {
-	s := l.SetIndex(c.sets)
+	s := l.SetIndexDiv(c.div)
 	return c.lines[s*c.ways : (s+1)*c.ways]
 }
 
 func (c *Cache) find(l addrspace.Line) *Entry {
 	set := c.set(l)
+	// Tag compare first: for non-matching ways (the common case) it fails
+	// in one comparison, where testing State first costs two. The State
+	// check still guards the hit — an invalidated way has Line zeroed, so
+	// it can only tag-match line 0.
 	for i := range set {
-		if set[i].State != Invalid && set[i].Line == l {
+		if set[i].Line == l && set[i].State != Invalid {
 			return &set[i]
 		}
 	}

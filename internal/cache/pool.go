@@ -1,0 +1,29 @@
+package cache
+
+import "sync"
+
+// Entry-array recycling: sweep drivers build and discard thousands of
+// machines with identically sized caches, so the tag arrays — the bulk
+// of a machine's steady allocations — are pooled by capacity. A recycled
+// array is cleared before reuse, making it indistinguishable from a
+// fresh one (simulation output stays byte-identical).
+var entryPools sync.Map // capacity -> *sync.Pool of *[]Entry
+
+func getLines(n int) []Entry {
+	if p, ok := entryPools.Load(n); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			s := *(v.(*[]Entry))
+			clear(s)
+			return s
+		}
+	}
+	return make([]Entry, n)
+}
+
+func putLines(s []Entry) {
+	if len(s) == 0 {
+		return
+	}
+	p, _ := entryPools.LoadOrStore(len(s), new(sync.Pool))
+	p.(*sync.Pool).Put(&s)
+}

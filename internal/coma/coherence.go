@@ -45,7 +45,7 @@ func (p *Protocol) CheckLine(l addrspace.Line) error {
 			return fmt.Errorf("line %#x: bad AM state %d at node %d", uint64(l), st, n)
 		}
 	}
-	info, indexed := p.index[l]
+	info, indexed := p.index.get(l)
 	if copies == 0 {
 		if indexed {
 			return fmt.Errorf("line %#x: indexed %+v but resident nowhere", uint64(l), info)

@@ -1,0 +1,152 @@
+package coma
+
+import (
+	"math/bits"
+
+	"repro/internal/addrspace"
+)
+
+// lineTable is the protocol's global directory: an open-addressed hash
+// table from line to lineInfo, purpose-built for the bus-snoop hot path.
+// Power-of-two capacity with linear probing keeps every lookup a
+// multiply, a shift and a short sequential scan; deletion backward-shifts
+// the probe chain closed, so there are no tombstones and probe lengths
+// never degrade over a run. The table is preallocated from the machine
+// geometry (total attraction-memory lines), so steady-state operation
+// never allocates; grow stays as a safety valve for tiny test geometries.
+//
+// An empty slot is one whose info.copies == 0: the protocol never stores
+// an entry without copies (a line with no copies anywhere is removed from
+// the directory), which put enforces.
+type lineTable struct {
+	keys    []addrspace.Line
+	infos   []lineInfo
+	n       int
+	maxLoad int
+	shift   uint // 64 - log2(len(keys)), for Fibonacci hashing
+}
+
+// newLineTable sizes the table for `lines` resident lines (the machine's
+// total attraction-memory capacity) with headroom so the load factor
+// stays below the grow threshold.
+func newLineTable(lines int) *lineTable {
+	capHint := lines + lines/2
+	slots := 16
+	for slots < capHint {
+		slots *= 2
+	}
+	t := &lineTable{}
+	t.alloc(slots)
+	return t
+}
+
+func (t *lineTable) alloc(slots int) {
+	t.keys = make([]addrspace.Line, slots)
+	t.infos = make([]lineInfo, slots)
+	t.maxLoad = slots - slots/4 // grow at 75% occupancy
+	t.shift = uint(64 - bits.TrailingZeros(uint(slots)))
+}
+
+// slot is the home slot for l: Fibonacci hashing spreads the sequential
+// line numbers the address-space allocator hands out across the table.
+func (t *lineTable) slot(l addrspace.Line) uint64 {
+	return (uint64(l) * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+func (t *lineTable) len() int { return t.n }
+
+// get returns the line's info; a missing line yields the zero lineInfo,
+// matching the map semantics the table replaces.
+func (t *lineTable) get(l addrspace.Line) (lineInfo, bool) {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.slot(l); ; i = (i + 1) & mask {
+		if t.infos[i].copies == 0 {
+			return lineInfo{}, false
+		}
+		if t.keys[i] == l {
+			return t.infos[i], true
+		}
+	}
+}
+
+// put inserts or updates the line's info. info.copies must be non-zero —
+// that is the table's empty-slot sentinel, and the protocol invariably
+// removes lines that lose their last copy.
+func (t *lineTable) put(l addrspace.Line, info lineInfo) {
+	if info.copies == 0 {
+		panic("coma: directory entry without copies")
+	}
+	if t.n >= t.maxLoad {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := t.slot(l)
+	for t.infos[i].copies != 0 {
+		if t.keys[i] == l {
+			t.infos[i] = info
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.keys[i] = l
+	t.infos[i] = info
+	t.n++
+}
+
+// del removes the line, if present, by backward-shifting the rest of the
+// probe chain into the hole so no tombstone is left behind.
+func (t *lineTable) del(l addrspace.Line) {
+	mask := uint64(len(t.keys) - 1)
+	i := t.slot(l)
+	for {
+		if t.infos[i].copies == 0 {
+			return
+		}
+		if t.keys[i] == l {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		t.infos[j].copies = 0
+		k := (j + 1) & mask
+		for {
+			if t.infos[k].copies == 0 {
+				t.n--
+				return
+			}
+			// An entry may fill the hole only if its home slot does not
+			// lie between the hole and it (cyclic comparison): moving it
+			// back keeps it reachable from its home.
+			if (k-t.slot(t.keys[k]))&mask >= (k-j)&mask {
+				break
+			}
+			k = (k + 1) & mask
+		}
+		t.keys[j] = t.keys[k]
+		t.infos[j] = t.infos[k]
+		j = k
+	}
+}
+
+// forEach visits every entry in table order (order is not meaningful;
+// callers must be order-independent).
+func (t *lineTable) forEach(fn func(addrspace.Line, lineInfo)) {
+	for i, info := range t.infos {
+		if info.copies != 0 {
+			fn(t.keys[i], info)
+		}
+	}
+}
+
+func (t *lineTable) grow() {
+	oldKeys, oldInfos := t.keys, t.infos
+	t.alloc(2 * len(oldKeys))
+	t.n = 0
+	for i, info := range oldInfos {
+		if info.copies != 0 {
+			t.put(oldKeys[i], info)
+		}
+	}
+}

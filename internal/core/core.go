@@ -97,7 +97,12 @@ func Run(tr *Trace, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(tr)
+	res, err := m.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	m.Release()
+	return res, nil
 }
 
 // RunNUMA simulates the trace on the CC-NUMA baseline machine: identical
@@ -113,7 +118,12 @@ func RunNUMA(tr *Trace, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(tr)
+	res, err := m.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	m.Release()
+	return res, nil
 }
 
 func checkConfig(cfg Config) error {

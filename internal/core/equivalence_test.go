@@ -1,0 +1,42 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Simulating a workload from its compact streams and from the legacy
+// materialized-[]Ref form (repacked through FromRefs) must produce
+// deeply-equal Results for every Table 1 application — the representation
+// change is invisible to the timing model.
+func TestCompactVersusRefFormSimulationEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep in -short mode")
+	}
+	cfg := Baseline(4, MP81)
+	cfg.Procs = 8
+	for _, name := range Workloads() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			orig := MustWorkload(name, 8)
+			refs := make([][]trace.Ref, len(orig.Streams))
+			for p := range orig.Streams {
+				refs[p] = orig.Streams[p].Refs()
+			}
+			repacked := trace.FromRefs(orig.Name, orig.WorkingSet, refs)
+			a, err := Run(orig, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(repacked, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("results diverge between trace forms:\ncompact %+v\nrepacked %+v", a, b)
+			}
+		})
+	}
+}

@@ -13,44 +13,77 @@ type job struct {
 	cfg config.Machine
 }
 
-// runAll executes a run matrix on the worker pool: traces are
-// pre-generated in parallel first (the kernels really compute, so trace
-// construction is worth overlapping too), then every job fans out across
-// up to Jobs workers. Results come back in input order; if any job fails,
-// outstanding work is cancelled and the error of the earliest failing job
-// is returned, exactly as the sequential engine would report it.
+// runAll executes a run matrix on the worker pool: every job fans out
+// across up to Jobs workers, with each app's trace generated lazily by
+// the first job that needs it (the singleflight cell makes same-app jobs
+// share the one generation, and different apps' generations overlap
+// across workers). Results come back in input order; if any job fails,
+// outstanding work is cancelled and the error of the earliest failing
+// job is returned, exactly as the sequential engine would report it.
+//
+// Trace retention is bounded by refcounting: before dispatch the matrix
+// pins each app once per job that needs it, and each job (or the
+// error-path sweep for undispatched jobs) releases one pin when done.
+// An app's cached trace is evicted as soon as its global pin count
+// reaches zero, so a full driver run never retains every workload's
+// trace simultaneously — and the cache is empty once all matrices
+// complete.
 func (r *Runner) runAll(jobs []job) ([]*machine.Result, error) {
-	names := make([]string, 0, len(jobs))
-	seen := make(map[string]bool, len(jobs))
+	needs := make(map[string]int, len(jobs))
 	for _, j := range jobs {
-		if !seen[j.app] {
-			seen[j.app] = true
-			names = append(names, j.app)
-		}
+		needs[j.app]++
 	}
-	if err := r.pregenTraces(names); err != nil {
-		return nil, err
-	}
+	r.pinTraces(needs)
 	results := make([]*machine.Result, len(jobs))
+	ran := make([]bool, len(jobs))
 	err := r.forEach(len(jobs), func(i int) error {
+		ran[i] = true
+		defer r.releaseTrace(jobs[i].app, 1)
 		res, err := r.Run(jobs[i].app, jobs[i].cfg)
 		results[i] = res
 		return err
 	})
+	// Jobs never dispatched (early stop on error) still hold pins.
+	for i, r2 := range ran {
+		if !r2 {
+			r.releaseTrace(jobs[i].app, 1)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	return results, nil
 }
 
-// pregenTraces generates the named workloads' traces in parallel (they
-// are memoized, so later Run calls reuse them). The names should be in
-// first-use order so the earliest failing workload wins error reporting.
-func (r *Runner) pregenTraces(names []string) error {
-	return r.forEach(len(names), func(i int) error {
-		_, err := r.Trace(names[i])
-		return err
-	})
+// pinTraces registers a matrix's per-app usage counts before dispatch,
+// so a trace shared with a concurrently running matrix cannot be evicted
+// from under it.
+func (r *Runner) pinTraces(needs map[string]int) {
+	r.mu.Lock()
+	if r.tracePins == nil {
+		r.tracePins = make(map[string]int)
+	}
+	for app, n := range needs {
+		r.tracePins[app] += n
+	}
+	r.mu.Unlock()
+}
+
+// releaseTrace drops n pins for app, evicting its cached trace when the
+// global pin count reaches zero. Unpinned traces (direct Trace callers)
+// are never evicted.
+func (r *Runner) releaseTrace(app string, n int) {
+	r.mu.Lock()
+	if rem, ok := r.tracePins[app]; ok {
+		rem -= n
+		if rem <= 0 {
+			delete(r.tracePins, app)
+			delete(r.traces, app)
+		} else {
+			r.tracePins[app] = rem
+		}
+	}
+	r.mu.Unlock()
 }
 
 // forEach runs f(0..n-1) on up to Jobs workers. Indices are dispatched in

@@ -170,3 +170,94 @@ func TestSweepErrorPropagatesThroughPool(t *testing.T) {
 		t.Fatalf("err = %v, want unknown-application error for %q", err, "bogus")
 	}
 }
+
+// traceCacheState snapshots the runner's trace-cache bookkeeping.
+func traceCacheState(r *Runner) (cached, pinned int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces), len(r.tracePins)
+}
+
+// Trace retention is bounded: once a matrix completes, every pin has been
+// released and the cache holds no traces at all — a full driver run must
+// not accumulate one trace per workload.
+func TestRunAllReleasesTraceCache(t *testing.T) {
+	r := runner8(4)
+	jobs := []job{
+		{"fft", config.Baseline(4, config.MP6)},
+		{"fft", config.Baseline(2, config.MP6)},
+		{"radix", config.Baseline(1, config.MP6)},
+		{"water-n2", config.Baseline(1, config.MP6)},
+	}
+	if _, err := r.runAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	cached, pinned := traceCacheState(r)
+	if cached != 0 || pinned != 0 {
+		t.Fatalf("after runAll: %d traces cached, %d pins outstanding; want 0/0", cached, pinned)
+	}
+}
+
+// The error path releases pins too: dispatched jobs release via their
+// defer, never-dispatched jobs via the sweep, so a failing matrix cannot
+// pin traces forever.
+func TestRunAllErrorReleasesTraceCache(t *testing.T) {
+	r := runner8(2)
+	good := config.Baseline(1, config.MP6)
+	jobs := []job{
+		{"fft", good},
+		{"no-such-app", good},
+		{"radix", good},
+		{"water-n2", good},
+		{"barnes", good},
+		{"volrend", good},
+	}
+	if _, err := r.runAll(jobs); err == nil {
+		t.Fatal("expected an error")
+	}
+	cached, pinned := traceCacheState(r)
+	if cached != 0 || pinned != 0 {
+		t.Fatalf("after failed runAll: %d traces cached, %d pins outstanding; want 0/0", cached, pinned)
+	}
+}
+
+// Table1 generates every workload's trace; it too must leave the cache
+// empty rather than retaining all 14 traces.
+func TestTable1ReleasesTraceCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table in -short mode")
+	}
+	r := runner8(4)
+	rows, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("Table1 rows = %d, want 14", len(rows))
+	}
+	cached, pinned := traceCacheState(r)
+	if cached != 0 || pinned != 0 {
+		t.Fatalf("after Table1: %d traces cached, %d pins outstanding; want 0/0", cached, pinned)
+	}
+}
+
+// Direct (unpinned) Trace callers keep the old memoized behaviour: their
+// traces stay cached, and a later matrix using the same app must not
+// evict what it did not pin... unless the matrix itself pinned the app,
+// in which case eviction at pin-zero is the contract.
+func TestDirectTraceSurvivesUnrelatedMatrix(t *testing.T) {
+	r := runner8(2)
+	if _, err := r.Trace("cholesky"); err != nil {
+		t.Fatal(err)
+	}
+	jobs := []job{{"fft", config.Baseline(1, config.MP6)}}
+	if _, err := r.runAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	_, ok := r.traces["cholesky"]
+	r.mu.Unlock()
+	if !ok {
+		t.Fatal("matrix evicted a trace it never pinned")
+	}
+}

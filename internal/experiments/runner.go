@@ -40,6 +40,10 @@ type Runner struct {
 	mu      sync.Mutex
 	traces  map[string]*traceCell
 	results map[runKey]*resultCell
+	// tracePins counts outstanding matrix jobs per app; runAll pins
+	// before dispatch and releases as jobs finish, evicting the cached
+	// trace at zero so driver runs don't retain every workload at once.
+	tracePins map[string]int
 
 	// onSimulate, when non-nil, is invoked once per simulation actually
 	// executed (memoized hits do not call it) — a test seam for the
@@ -155,6 +159,7 @@ func (r *Runner) simulate(app string, cfg config.Machine) (*machine.Result, erro
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", app, err)
 	}
+	m.Release() // Result is value-detached; recycle the tag arrays
 	if r.Progress != nil {
 		r.mu.Lock()
 		fmt.Fprintf(r.Progress, "ran %-10s %dp/node mp=%-4s ways=%d dram=%.2g nc=%.2g bus=%.2g -> exec %v\n",

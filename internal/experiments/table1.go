@@ -21,20 +21,29 @@ type Table1Row struct {
 }
 
 // Table1 reproduces the paper's application table with our scaled inputs.
-// Trace generation fans out on the worker pool; the (cheap) summaries run
-// afterwards in registry order.
+// Trace generation and summarizing fan out per application on the worker
+// pool; rows are indexed, so output stays in registry order. Each app is
+// pinned for exactly its one summary, so traces are released as soon as
+// they are summarized instead of being retained all at once.
 func (r *Runner) Table1() ([]Table1Row, error) {
-	if err := r.pregenTraces(apps.Names()); err != nil {
-		return nil, err
+	reg := apps.Registry
+	needs := make(map[string]int, len(reg))
+	for _, a := range reg {
+		needs[a.Name]++
 	}
-	var rows []Table1Row
-	for _, a := range apps.Registry {
+	r.pinTraces(needs)
+	rows := make([]Table1Row, len(reg))
+	ran := make([]bool, len(reg))
+	err := r.forEach(len(reg), func(i int) error {
+		ran[i] = true
+		defer r.releaseTrace(reg[i].Name, 1)
+		a := reg[i]
 		tr, err := r.Trace(a.Name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s := tr.Summarize()
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			App:          a.Name,
 			Title:        a.Title,
 			PaperProblem: a.PaperProblem,
@@ -43,7 +52,16 @@ func (r *Runner) Table1() ([]Table1Row, error) {
 			OurWSKB:      tr.WorkingSet / 1024,
 			Reads:        s.Reads,
 			Writes:       s.Writes,
-		})
+		}
+		return nil
+	})
+	for i, ok := range ran {
+		if !ok {
+			r.releaseTrace(reg[i].Name, 1)
+		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -37,14 +37,18 @@ type wbEntry struct {
 type proc struct {
 	id, node int
 	t        engine.Time
-	refs     []trace.Ref
+	refs     *trace.Stream
 	pc       int
 
 	l1, slc *cache.Cache
 	slcRes  *engine.Resource
 
-	// Write buffer (release consistency): FIFO of in-flight drains.
+	// Write buffer (release consistency): fixed-capacity ring of in-flight
+	// drains (head wbHead, length wbLen), so steady-state retirement never
+	// reslices or reallocates.
 	wb       []wbEntry
+	wbHead   int
+	wbLen    int
 	wbLast   engine.Time // completion of the most recently issued drain
 	blocked  bool
 	blockAt  engine.Time
@@ -110,6 +114,7 @@ type Machine struct {
 	bus    *engine.Resource
 	nodes  []*nodeRes
 	procs  []*proc
+	ready  procHeap
 	locks  map[uint32]*lockState
 	bar    barrierState
 
@@ -182,9 +187,26 @@ func NewWithMem(p Params, buildMem func(purge func(node int, l addrspace.Line, e
 			l1:     cache.New(cache.Config{Name: fmt.Sprintf("l1-%d", i), Sets: l1Sets, Ways: 1}),
 			slc:    cache.New(cache.Config{Name: fmt.Sprintf("slc-%d", i), Sets: slcSets, Ways: 4}),
 			slcRes: engine.NewResource(fmt.Sprintf("slcres-%d", i)),
+			wb:     make([]wbEntry, p.WriteBufferDepth),
 		}
 	}
+	m.ready.init(m.procs)
+	m.bar.arrived = make([]int, 0, p.Procs)
+	m.bar.arriveAt = make([]engine.Time, 0, p.Procs)
 	return m, nil
+}
+
+// Release returns the machine's pooled state (cache entry arrays) for
+// reuse by later machines. The machine must not be used afterwards.
+// Optional: an unreleased machine is simply collected by the GC.
+func (m *Machine) Release() {
+	for _, p := range m.procs {
+		p.l1.Release()
+		p.slc.Release()
+	}
+	if m.prot != nil {
+		m.prot.Release()
+	}
 }
 
 // Protocol exposes the protocol for tests and tools.
@@ -239,14 +261,33 @@ func (m *Machine) Run(tr *trace.Trace) (*Result, error) {
 		return nil, fmt.Errorf("machine: trace has %d procs, machine %d", tr.Procs, m.params.Procs)
 	}
 	for i, p := range m.procs {
-		p.refs = tr.Streams[i]
+		p.refs = &tr.Streams[i]
+		m.ready.touch(int32(i))
 	}
+	// Step the (clock, id)-minimum processor in place. The order is a
+	// strict total order, so while a step leaves p's clock unchanged —
+	// L1-hit loads, stores absorbed by the write buffer — p is still the
+	// unique minimum and can keep stepping with no heap work at all:
+	// every path that wakes another processor (release, barrier exit)
+	// also advances p's clock, so no other key can have moved meanwhile.
 	for {
-		p := m.next()
-		if p == nil {
+		id, ok := m.ready.peek()
+		if !ok {
 			break
 		}
-		m.step(p)
+		p := m.procs[id]
+		for {
+			t0 := p.t
+			m.step(p)
+			if p.done || p.blocked || p.t != t0 {
+				break
+			}
+		}
+		if p.done || p.blocked {
+			m.ready.remove(id)
+		} else {
+			m.ready.fix(id)
+		}
 	}
 	for _, p := range m.procs {
 		if !p.done {
@@ -261,35 +302,21 @@ func (m *Machine) Run(tr *trace.Trace) (*Result, error) {
 }
 
 func refAt(p *proc) string {
-	if p.pc < len(p.refs) {
-		return p.refs[p.pc].Kind.String()
+	if p.refs != nil && p.pc < p.refs.Len() {
+		return p.refs.Kind(p.pc).String()
 	}
 	return "end"
-}
-
-// next picks the runnable processor with the smallest local clock.
-func (m *Machine) next() *proc {
-	var best *proc
-	for _, p := range m.procs {
-		if p.done || p.blocked {
-			continue
-		}
-		if best == nil || p.t < best.t {
-			best = p
-		}
-	}
-	return best
 }
 
 // step executes one trace record for p.
 func (m *Machine) step(p *proc) {
 	m.now = p.t
-	if p.pc >= len(p.refs) {
+	if p.pc >= p.refs.Len() {
 		// Released from a final barrier with nothing left to run.
 		m.finish(p)
 		return
 	}
-	r := p.refs[p.pc]
+	r := p.refs.At(p.pc)
 	switch r.Kind {
 	case trace.Compute:
 		if m.measuring {
@@ -317,7 +344,7 @@ func (m *Machine) step(p *proc) {
 	default:
 		panic(fmt.Sprintf("machine: unknown ref kind %d", r.Kind))
 	}
-	if !p.blocked && p.pc >= len(p.refs) {
+	if !p.blocked && p.pc >= p.refs.Len() {
 		m.finish(p)
 	}
 }
@@ -436,8 +463,8 @@ func (m *Machine) doWrite(p *proc, a addrspace.Addr) {
 	}
 	// Retire completed drains, then stall if still full.
 	p.retireDrains()
-	if len(p.wb) >= m.params.WriteBufferDepth {
-		head := p.wb[0]
+	if p.wbLen >= m.params.WriteBufferDepth {
+		head := p.wb[p.wbHead]
 		if m.rec.Enabled() {
 			m.rec.Emit(obs.Event{
 				Kind:  obs.KindWBStall,
@@ -457,7 +484,12 @@ func (m *Machine) doWrite(p *proc, a addrspace.Addr) {
 	eff := m.mem.Write(p.node, l)
 	done, class := m.charge(p.node, p.slcRes, start, eff)
 	p.wbLast = done
-	p.wb = append(p.wb, wbEntry{done: done, class: class})
+	slot := p.wbHead + p.wbLen
+	if slot >= len(p.wb) {
+		slot -= len(p.wb)
+	}
+	p.wb[slot] = wbEntry{done: done, class: class}
+	p.wbLen++
 	// Write-allocate; the SLC copy is writable only when the memory
 	// system granted exclusivity (always under invalidation; only for
 	// sole copies under the update policy).
@@ -488,8 +520,12 @@ func (m *Machine) invalidateSiblings(p *proc, l addrspace.Line) {
 }
 
 func (p *proc) retireDrains() {
-	for len(p.wb) > 0 && p.wb[0].done <= p.t {
-		p.wb = p.wb[1:]
+	for p.wbLen > 0 && p.wb[p.wbHead].done <= p.t {
+		p.wbHead++
+		if p.wbHead == len(p.wb) {
+			p.wbHead = 0
+		}
+		p.wbLen--
 	}
 }
 
@@ -502,7 +538,8 @@ func (m *Machine) drainAll(p *proc) {
 		}
 		p.t = p.wbLast
 	}
-	p.wb = p.wb[:0]
+	p.wbHead = 0
+	p.wbLen = 0
 }
 
 // charge walks an attraction-memory access through the timing model,
@@ -698,6 +735,7 @@ func (m *Machine) doRelease(p *proc, r trace.Ref) {
 	}
 	w.t = engine.Max(w.t, p.t)
 	w.blocked = false
+	m.ready.touch(int32(w.id))
 }
 
 // doBarrier implements global barriers and the measured-section marker.
@@ -743,6 +781,7 @@ func (m *Machine) doBarrier(p *proc, r trace.Ref) {
 			q.st.Sync += tmax - b.arriveAt[i]
 		}
 		q.t = tmax
+		m.ready.touch(int32(q.id))
 	}
 	b.active = false
 	if b.measure {

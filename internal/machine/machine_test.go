@@ -275,11 +275,10 @@ func TestDeadlockDetection(t *testing.T) {
 func TestMissingMeasureStartFails(t *testing.T) {
 	// Bypass the builder (which enforces MeasureStart) to check the
 	// machine's own guard.
-	tr := &trace.Trace{Name: "x", Procs: 2, WorkingSet: 1 << 20,
-		Streams: [][]trace.Ref{
-			{{Kind: trace.Read, Addr: lineA}},
-			{{Kind: trace.Read, Addr: lineB}},
-		}}
+	tr := trace.FromRefs("x", 1<<20, [][]trace.Ref{
+		{{Kind: trace.Read, Addr: lineA}},
+		{{Kind: trace.Read, Addr: lineB}},
+	})
 	m, err := New(tinyParams(2, 1))
 	if err != nil {
 		t.Fatal(err)

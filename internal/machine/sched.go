@@ -1,0 +1,136 @@
+package machine
+
+import "repro/internal/engine"
+
+// procHeap is an index min-heap over runnable processors ordered by
+// (local clock, processor id). It replaces the O(P) linear scan that
+// previously picked the next processor to step.
+//
+// Determinism: the old scan kept the first processor with the strictly
+// smallest clock, i.e. the lowest-id processor among those tied at the
+// minimum. The heap's ordering is the lexicographic (clock, id) pair — a
+// strict total order, since ids are unique — so peek() returns exactly
+// the processor the scan would have picked and the simulation schedule,
+// and therefore every output, is byte-identical.
+//
+// The main loop steps the minimum in place (peek, step, fix) rather than
+// popping and reinserting: a step usually moves the clock a little, so
+// one sift-down from the current position beats a full delete-min plus
+// insert. Steps that leave the clock unchanged (L1-hit loads, buffered
+// stores) need no heap work at all — see Machine.Run.
+//
+// ids is the heap array of processor ids, ts the parallel array of their
+// cached clocks (the sort key, refreshed by touch/fix so comparisons
+// never chase proc pointers); pos[id] is id's index in ids, or -1 when
+// the processor is not enqueued (blocked or done). All arrays are
+// preallocated at machine construction; no heap operation allocates.
+type procHeap struct {
+	procs []*proc
+	ids   []int32
+	ts    []engine.Time
+	pos   []int32
+}
+
+func (h *procHeap) init(procs []*proc) {
+	h.procs = procs
+	h.ids = make([]int32, 0, len(procs))
+	h.ts = make([]engine.Time, 0, len(procs))
+	h.pos = make([]int32, len(procs))
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
+func (h *procHeap) less(i, j int) bool {
+	if h.ts[i] != h.ts[j] {
+		return h.ts[i] < h.ts[j]
+	}
+	return h.ids[i] < h.ids[j]
+}
+
+func (h *procHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.ts[i], h.ts[j] = h.ts[j], h.ts[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *procHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *procHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			return
+		}
+		if r := kid + 1; r < n && h.less(r, kid) {
+			kid = r
+		}
+		if !h.less(kid, i) {
+			return
+		}
+		h.swap(i, kid)
+		i = kid
+	}
+}
+
+// touch enqueues processor id, or refreshes its key and repositions it if
+// already enqueued (its clock may have advanced). Safe to call from any
+// wake site; a wake that already enqueued the stepping processor (barrier
+// self-release) composes with the main loop's fix because both are
+// idempotent.
+func (h *procHeap) touch(id int32) {
+	if i := h.pos[id]; i >= 0 {
+		h.fix(id)
+		return
+	}
+	h.ids = append(h.ids, id)
+	h.ts = append(h.ts, h.procs[id].t)
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// peek returns the runnable processor with the smallest (clock, id)
+// without removing it; ok is false when no processor is runnable.
+func (h *procHeap) peek() (int32, bool) {
+	if len(h.ids) == 0 {
+		return 0, false
+	}
+	return h.ids[0], true
+}
+
+// fix refreshes id's key from its processor clock and restores heap order
+// around it. Clocks only move forward, so the sift-down almost always
+// suffices; the sift-up covers repositioning after an unrelated removal.
+func (h *procHeap) fix(id int32) {
+	i := int(h.pos[id])
+	h.ts[i] = h.procs[id].t
+	h.down(i)
+	h.up(int(h.pos[id]))
+}
+
+// remove dequeues processor id (it blocked or finished).
+func (h *procHeap) remove(id int32) {
+	i := int(h.pos[id])
+	last := len(h.ids) - 1
+	if i != last {
+		h.swap(i, last)
+	}
+	h.ids = h.ids[:last]
+	h.ts = h.ts[:last]
+	h.pos[id] = -1
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}

@@ -34,6 +34,10 @@ type Directory struct {
 	purge     func(node int, l addrspace.Line, evict bool)
 	downgrade func(node int, l addrspace.Line)
 	stats     coma.Stats
+	// txns is the scratch transaction buffer handed out via Effect.Txns,
+	// under the same contract as the COMA protocol's: valid until the
+	// next Read/Write/WriteBack call on this directory.
+	txns []coma.Txn
 }
 
 // New builds an empty directory for the given node count. The purge and
@@ -93,7 +97,7 @@ func (d *Directory) Read(node int, l addrspace.Line) coma.Effect {
 		st.dirty = -1
 		st.sharers |= 1 << uint(node)
 		d.stats.ReadMisses++
-		eff.Txns = append(eff.Txns, coma.Txn{Class: coma.TxnRead, Data: true, Remote: supplier})
+		eff.Txns = d.txn1(coma.Txn{Class: coma.TxnRead, Data: true, Remote: supplier})
 		eff.NoLocalFill = int(st.home) != node
 		d.record(eff.Txns)
 		return eff
@@ -105,10 +109,17 @@ func (d *Directory) Read(node int, l addrspace.Line) coma.Effect {
 	}
 	// Clean remote data: fetch from home, do not install locally.
 	d.stats.ReadMisses++
-	eff.Txns = append(eff.Txns, coma.Txn{Class: coma.TxnRead, Data: true, Remote: int(st.home)})
+	eff.Txns = d.txn1(coma.Txn{Class: coma.TxnRead, Data: true, Remote: int(st.home)})
 	eff.NoLocalFill = true
 	d.record(eff.Txns)
 	return eff
+}
+
+// txn1 fills the scratch buffer with a single transaction; the returned
+// slice is valid until the next access on the directory.
+func (d *Directory) txn1(t coma.Txn) []coma.Txn {
+	d.txns = append(d.txns[:0], t)
+	return d.txns
 }
 
 // Write services an SLC write miss or upgrade by the given node.
@@ -153,12 +164,12 @@ func (d *Directory) Write(node int, l addrspace.Line) coma.Effect {
 	case wasSharer:
 		// Upgrade: invalidation broadcast, no data.
 		d.stats.Upgrades++
-		eff.Txns = append(eff.Txns, coma.Txn{Class: coma.TxnWrite, Data: false, Remote: -1})
+		eff.Txns = d.txn1(coma.Txn{Class: coma.TxnWrite, Data: false, Remote: -1})
 		d.record(eff.Txns)
 	default:
 		// Fetch-exclusive from home or dirty holder.
 		d.stats.WriteMisses++
-		eff.Txns = append(eff.Txns, coma.Txn{Class: coma.TxnWrite, Data: true, Remote: supplier})
+		eff.Txns = d.txn1(coma.Txn{Class: coma.TxnWrite, Data: true, Remote: supplier})
 		eff.NoLocalFill = int(st.home) != node
 		d.record(eff.Txns)
 	}
@@ -178,7 +189,7 @@ func (d *Directory) WriteBack(node int, l addrspace.Line) coma.Effect {
 		return coma.Effect{Hit: true}
 	}
 	eff := coma.Effect{
-		Txns:        []coma.Txn{{Class: coma.TxnWrite, Data: true, Remote: int(st.home)}},
+		Txns:        d.txn1(coma.Txn{Class: coma.TxnWrite, Data: true, Remote: int(st.home)}),
 		NoLocalFill: true,
 	}
 	d.record(eff.Txns)

@@ -10,11 +10,13 @@ import (
 // Builder accumulates per-processor streams while a workload kernel runs.
 // Kernels are single-threaded generators: they iterate over logical
 // processors and emit each processor's references for a phase, separated
-// by barriers; the timing simulator later interleaves the streams.
+// by barriers; the timing simulator later interleaves the streams. The
+// builder emits the compact Stream form directly, so a generated trace
+// never exists in the boxed []Ref representation.
 type Builder struct {
 	name      string
 	procs     int
-	streams   [][]Ref
+	streams   []Stream
 	barrierID uint32
 	measured  bool
 }
@@ -25,7 +27,7 @@ func NewBuilder(name string, procs int) *Builder {
 	if procs <= 0 {
 		panic("trace: non-positive processor count")
 	}
-	return &Builder{name: name, procs: procs, streams: make([][]Ref, procs)}
+	return &Builder{name: name, procs: procs, streams: make([]Stream, procs)}
 }
 
 // Procs returns the processor count.
@@ -33,12 +35,12 @@ func (b *Builder) Procs() int { return b.procs }
 
 // Read records a load by processor p.
 func (b *Builder) Read(p int, a addrspace.Addr) {
-	b.streams[p] = append(b.streams[p], Ref{Kind: Read, Addr: a})
+	b.streams[p].Append(Ref{Kind: Read, Addr: a})
 }
 
 // Write records a store by processor p.
 func (b *Builder) Write(p int, a addrspace.Addr) {
-	b.streams[p] = append(b.streams[p], Ref{Kind: Write, Addr: a})
+	b.streams[p].Append(Ref{Kind: Write, Addr: a})
 }
 
 // Compute charges d nanoseconds of busy execution to processor p.
@@ -47,22 +49,19 @@ func (b *Builder) Compute(p int, d engine.Time) {
 	if d <= 0 {
 		return
 	}
-	st := b.streams[p]
-	if n := len(st); n > 0 && st[n-1].Kind == Compute {
-		st[n-1].Dur += d
-		return
+	if !b.streams[p].addCompute(d) {
+		b.streams[p].Append(Ref{Kind: Compute, Dur: d})
 	}
-	b.streams[p] = append(st, Ref{Kind: Compute, Dur: d})
 }
 
 // Acquire records lock acquisition by p on lock id homed at address a.
 func (b *Builder) Acquire(p int, id uint32, a addrspace.Addr) {
-	b.streams[p] = append(b.streams[p], Ref{Kind: Acquire, Addr: a, ID: id})
+	b.streams[p].Append(Ref{Kind: Acquire, Addr: a, ID: id})
 }
 
 // Release records release by p of lock id homed at address a.
 func (b *Builder) Release(p int, id uint32, a addrspace.Addr) {
-	b.streams[p] = append(b.streams[p], Ref{Kind: Release, Addr: a, ID: id})
+	b.streams[p].Append(Ref{Kind: Release, Addr: a, ID: id})
 }
 
 // Barrier emits a global barrier record to every processor's stream.
@@ -70,7 +69,7 @@ func (b *Builder) Barrier() {
 	id := b.barrierID
 	b.barrierID++
 	for p := range b.streams {
-		b.streams[p] = append(b.streams[p], Ref{Kind: Barrier, ID: id})
+		b.streams[p].Append(Ref{Kind: Barrier, ID: id})
 	}
 }
 
@@ -82,7 +81,7 @@ func (b *Builder) MeasureStart() {
 	}
 	b.measured = true
 	for p := range b.streams {
-		b.streams[p] = append(b.streams[p], Ref{Kind: MeasureStart})
+		b.streams[p].Append(Ref{Kind: MeasureStart})
 	}
 }
 

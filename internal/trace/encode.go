@@ -40,11 +40,13 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	if err := write(t.WorkingSet); err != nil {
 		return cw.n, err
 	}
-	for _, st := range t.Streams {
-		if err := write(uint32(len(st))); err != nil {
+	for p := range t.Streams {
+		st := &t.Streams[p]
+		if err := write(uint32(st.Len())); err != nil {
 			return cw.n, err
 		}
-		for _, r := range st {
+		for i := 0; i < st.Len(); i++ {
+			r := st.At(i)
 			if err := write(uint8(r.Kind)); err != nil {
 				return cw.n, err
 			}
@@ -95,16 +97,18 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if err := read(&t.WorkingSet); err != nil {
 		return nil, err
 	}
-	t.Streams = make([][]Ref, procs)
+	t.Streams = make([]Stream, procs)
 	for p := range t.Streams {
 		var count uint32
 		if err := read(&count); err != nil {
 			return nil, err
 		}
-		st := make([]Ref, count)
-		for i := range st {
+		st := &t.Streams[p]
+		st.grow(int(count))
+		for i := 0; i < int(count); i++ {
 			var kind uint8
 			var addr uint64
+			var id uint32
 			var dur int64
 			if err := read(&kind); err != nil {
 				return nil, err
@@ -112,7 +116,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			if err := read(&addr); err != nil {
 				return nil, err
 			}
-			if err := read(&st[i].ID); err != nil {
+			if err := read(&id); err != nil {
 				return nil, err
 			}
 			if err := read(&dur); err != nil {
@@ -121,11 +125,13 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			if kind > uint8(MeasureStart) {
 				return nil, fmt.Errorf("trace: proc %d ref %d: unknown kind %d", p, i, kind)
 			}
-			st[i].Kind = Kind(kind)
-			st[i].Addr = addrspace.Addr(addr)
-			st[i].Dur = engine.Time(dur)
+			st.Append(Ref{
+				Kind: Kind(kind),
+				Addr: addrspace.Addr(addr),
+				ID:   id,
+				Dur:  engine.Time(dur),
+			})
 		}
-		t.Streams[p] = st
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -24,12 +24,12 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("header mismatch: %+v", got)
 	}
 	for p := range orig.Streams {
-		if len(got.Streams[p]) != len(orig.Streams[p]) {
-			t.Fatalf("proc %d: %d refs, want %d", p, len(got.Streams[p]), len(orig.Streams[p]))
+		if got.Streams[p].Len() != orig.Streams[p].Len() {
+			t.Fatalf("proc %d: %d refs, want %d", p, got.Streams[p].Len(), orig.Streams[p].Len())
 		}
-		for i := range orig.Streams[p] {
-			if got.Streams[p][i] != orig.Streams[p][i] {
-				t.Fatalf("proc %d ref %d: %+v != %+v", p, i, got.Streams[p][i], orig.Streams[p][i])
+		for i := 0; i < orig.Streams[p].Len(); i++ {
+			if got.Streams[p].At(i) != orig.Streams[p].At(i) {
+				t.Fatalf("proc %d ref %d: %+v != %+v", p, i, got.Streams[p].At(i), orig.Streams[p].At(i))
 			}
 		}
 	}

@@ -80,8 +80,18 @@ type Trace struct {
 	// WorkingSet is the application footprint in bytes (page-rounded),
 	// from which attraction-memory sizes are derived via memory pressure.
 	WorkingSet uint64
-	// Streams[p] is processor p's reference stream.
-	Streams [][]Ref
+	// Streams[p] is processor p's reference stream in compact form.
+	Streams []Stream
+}
+
+// MemBytes is the approximate heap footprint of all streams' backing
+// arrays.
+func (t *Trace) MemBytes() int {
+	var n int
+	for i := range t.Streams {
+		n += t.Streams[i].MemBytes()
+	}
+	return n
 }
 
 // Validate checks structural invariants: stream count, barrier pairing is
@@ -92,9 +102,11 @@ func (t *Trace) Validate() error {
 	if len(t.Streams) != t.Procs {
 		return fmt.Errorf("trace %s: %d streams for %d procs", t.Name, len(t.Streams), t.Procs)
 	}
-	for p, st := range t.Streams {
+	for p := range t.Streams {
+		st := &t.Streams[p]
 		measures := 0
-		for i, r := range st {
+		for i := 0; i < st.Len(); i++ {
+			r := st.At(i)
 			switch r.Kind {
 			case Read, Write, Acquire, Release:
 				if r.Addr == 0 {
@@ -131,8 +143,10 @@ type Stats struct {
 func (t *Trace) Summarize() Stats {
 	var s Stats
 	touched := make(map[addrspace.Line]uint32) // bitmap of procs per line
-	for p, st := range t.Streams {
-		for _, r := range st {
+	for p := range t.Streams {
+		st := &t.Streams[p]
+		for i := 0; i < st.Len(); i++ {
+			r := st.At(i)
 			switch r.Kind {
 			case Read:
 				s.Reads++

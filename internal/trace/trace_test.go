@@ -34,7 +34,7 @@ func TestBuilderStreams(t *testing.T) {
 	}
 	// Compute coalescing: proc 0 has exactly one Compute of 15.
 	var computes []Ref
-	for _, r := range tr.Streams[0] {
+	for _, r := range tr.Streams[0].Refs() {
 		if r.Kind == Compute {
 			computes = append(computes, r)
 		}
@@ -45,7 +45,7 @@ func TestBuilderStreams(t *testing.T) {
 	// Barriers appear in both streams with matching ids.
 	for p := 0; p < 2; p++ {
 		n := 0
-		for _, r := range tr.Streams[p] {
+		for _, r := range tr.Streams[p].Refs() {
 			if r.Kind == Barrier {
 				n++
 			}
@@ -74,26 +74,27 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestValidateRejectsZeroAddr(t *testing.T) {
-	tr := &Trace{Name: "bad", Procs: 1, Streams: [][]Ref{{
+	tr := FromRefs("bad", 0, [][]Ref{{
 		{Kind: MeasureStart},
 		{Kind: Read, Addr: 0},
-	}}}
+	}})
 	if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "zero address") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestValidateRequiresMeasureStart(t *testing.T) {
-	tr := &Trace{Name: "bad", Procs: 1, Streams: [][]Ref{{
+	tr := FromRefs("bad", 0, [][]Ref{{
 		{Kind: Read, Addr: 64},
-	}}}
+	}})
 	if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "MeasureStart") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestValidateStreamCount(t *testing.T) {
-	tr := &Trace{Name: "bad", Procs: 2, Streams: [][]Ref{{{Kind: MeasureStart}}}}
+	tr := FromRefs("bad", 0, [][]Ref{{{Kind: MeasureStart}}})
+	tr.Procs = 2
 	if err := tr.Validate(); err == nil {
 		t.Fatal("expected stream-count error")
 	}
@@ -140,7 +141,7 @@ func TestComputeNonPositiveIgnored(t *testing.T) {
 	b.Compute(0, -5)
 	b.MeasureStart()
 	tr := b.Build(64)
-	if len(tr.Streams[0]) != 1 {
-		t.Fatalf("non-positive computes must be dropped: %+v", tr.Streams[0])
+	if tr.Streams[0].Len() != 1 {
+		t.Fatalf("non-positive computes must be dropped: %+v", tr.Streams[0].Refs())
 	}
 }
