@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/config"
+	"repro/internal/config/flags"
 	"repro/internal/machine"
 	"repro/internal/trace"
 )
@@ -74,6 +75,7 @@ type File struct {
 }
 
 func main() {
+	flags.SetUsage("bench", "run the tracked end-to-end benchmark matrix and merge the entry into BENCH_results.json")
 	out := flag.String("out", "BENCH_results.json", "results file to merge the entry into")
 	label := flag.String("label", "current", "entry label (same label replaces in place)")
 	quick := flag.Bool("quick", false, "CI-sized matrix: 8 processors, ppn {1,4}, 1 iteration")
@@ -100,19 +102,13 @@ func main() {
 	}
 
 	entry, err := benchMatrix(*procs, *iters, ppns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
+	flags.Check("bench", err)
 	entry.Label = *label
 	entry.Quick = *quick
 	entry.Note = *note
 	entry.Date = time.Now().UTC().Format("2006-01-02T15:04:05Z")
 
-	if err := merge(*out, entry); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
+	flags.Check("bench", merge(*out, entry))
 	fmt.Printf("wrote %s entry %q: %.1f ns/ref, %.3g refs/sec, %.0f allocs/run, peak RSS %d MiB\n",
 		*out, entry.Label, entry.Totals.NsPerRef, entry.Totals.RefsPerSec,
 		entry.Totals.AllocsPerRun, entry.Totals.PeakRSSBytes>>20)

@@ -6,13 +6,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"repro/internal/config"
+	"repro/internal/config/flags"
 	"repro/internal/core"
 )
 
 func main() {
+	flags.SetUsage("comasim", "run one COMA simulation configuration and print the full measurement record")
 	app := flag.String("app", "radix", "workload name (see -list)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	ppn := flag.Int("procs-per-node", 1, "processors per node (1, 2 or 4)")
@@ -87,6 +88,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "comasim:", err)
-	os.Exit(1)
+	flags.Check("comasim", err)
 }

@@ -1,0 +1,66 @@
+// Command comasrv serves the simulation and experiment engine as a JSON
+// HTTP API with a persistent content-addressed result store. See API.md
+// for the endpoint reference and OPERATIONS guidance.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/config/flags"
+	"repro/internal/server"
+)
+
+func main() {
+	flags.SetUsage("comasrv", "serve the simulation engine as a JSON HTTP API")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	jobs := flags.Jobs()
+	storeDir := flag.String("store", "comasrv-store", "result store directory (empty = memory-only)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory result cache budget in bytes (0 = 64 MiB)")
+	timeout := flag.Duration("timeout", 0, "per-request simulation timeout (0 = unbounded)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Jobs:          *jobs,
+		StoreDir:      *storeDir,
+		StoreMemBytes: *cacheBytes,
+		Timeout:       *timeout,
+	})
+	flags.Check("comasrv", err)
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("comasrv: listening on %s (jobs=%d store=%q)", *addr, *jobs, *storeDir)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		flags.Check("comasrv", err)
+	case <-ctx.Done():
+		log.Printf("comasrv: shutting down (draining for up to %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("comasrv: drain incomplete: %v", err)
+		}
+		srv.Close() // cancel any still-running jobs
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			flags.Check("comasrv", err)
+		}
+	}
+}

@@ -1,28 +1,27 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section. With -only it runs a single artifact:
 //
-//	table1, fig2, fig3, fig4, fig5, sens-dram, sens-node, sens-bus, sens-mp
+//	table1, fig2, fig3, fig4, fig5, thresholds, sens-dram, sens-node,
+//	sens-bus, latency, sens-mp
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
-	"runtime"
 
-	"repro/internal/analysis"
+	"repro/internal/config/flags"
 	"repro/internal/experiments"
 	"repro/internal/profiling"
-	"repro/internal/stats"
 )
 
 func main() {
+	flags.SetUsage("experiments", "regenerate the paper's tables and figures (all, or one artifact with -only)")
 	only := flag.String("only", "", "run a single artifact (table1, fig2..fig5, sens-*, thresholds)")
 	chart := flag.Bool("chart", false, "render figures 3-5 as stacked bar charts")
-	verbose := flag.Bool("v", false, "print per-run progress to stderr")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	procs := flags.Procs(16)
+	verbose := flags.Verbose()
+	jobs := flags.Jobs()
+	cpuprofile, memprofile := flags.Profiles()
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -30,105 +29,18 @@ func main() {
 	defer stopProf()
 
 	r := experiments.NewRunner()
+	r.Procs = *procs
 	r.Jobs = *jobs
 	if *verbose {
 		r.Progress = os.Stderr
 	}
-	want := func(name string) bool { return *only == "" || *only == name }
-	out := os.Stdout
-
-	if want("table1") {
-		rows, err := r.Table1()
-		check(err)
-		fmt.Fprintln(out, "Table 1: applications and working sets")
-		check(experiments.WriteTable1(out, rows))
-		fmt.Fprintln(out)
-	}
-	if want("fig2") {
-		f, err := r.Figure2()
-		check(err)
-		check(f.Write(out))
-		fmt.Fprintln(out)
-	}
-	if want("fig3") {
-		f, err := r.Figure3()
-		check(err)
-		if *chart {
-			check(f.Chart(out))
-		} else {
-			check(f.Write(out))
+	for _, name := range experiments.Artifacts() {
+		if *only == "" || *only == name {
+			check(experiments.RenderArtifact(os.Stdout, r, name, *chart))
 		}
-		fmt.Fprintln(out)
-	}
-	if want("fig4") {
-		f, err := r.Figure4()
-		check(err)
-		if *chart {
-			check(f.Chart(out))
-		} else {
-			check(f.Write(out))
-		}
-		fmt.Fprintln(out)
-	}
-	if want("fig5") {
-		f, err := r.Figure5()
-		check(err)
-		if *chart {
-			check(f.Chart(out))
-		} else {
-			check(f.Write(out))
-		}
-		fmt.Fprintln(out)
-	}
-	if want("thresholds") {
-		fmt.Fprintln(out, "Replication thresholds (paper Section 4.2 analytical model)")
-		t := stats.NewTable("procs/node", "AM ways", "threshold", "exact")
-		for _, row := range analysis.PaperTable() {
-			t.Row(row.Machine.ProcsPerNode, row.Machine.AMWays,
-				stats.Pct(row.Threshold), fmt.Sprintf("%d/%d", row.Num, row.Den))
-		}
-		check(t.Write(out))
-		fmt.Fprintln(out)
-	}
-	if want("sens-dram") {
-		ss, err := r.SensitivityDRAM()
-		check(err)
-		for _, s := range ss {
-			check(s.Write(out))
-			fmt.Fprintln(out)
-		}
-	}
-	if want("sens-node") {
-		s, err := r.SensitivityNode()
-		check(err)
-		check(s.Write(out))
-		fmt.Fprintln(out)
-	}
-	if want("sens-bus") {
-		ss, err := r.SensitivityBus()
-		check(err)
-		for _, s := range ss {
-			check(s.Write(out))
-			fmt.Fprintln(out)
-		}
-	}
-	if want("latency") {
-		rows, err := r.Latency()
-		check(err)
-		check(experiments.WriteLatency(out, rows))
-		fmt.Fprintln(out)
-	}
-	if want("sens-mp") {
-		rows, err := r.SensitivityPressure()
-		check(err)
-		check(experiments.WritePressure(out, rows))
-		fmt.Fprintln(out)
 	}
 }
 
 func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	flags.Check("experiments", err)
 }

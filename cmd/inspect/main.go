@@ -14,18 +14,19 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/config/flags"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/obs"
 )
 
 func main() {
-	procs := flag.Int("procs", 16, "total processor count")
+	flags.SetUsage("inspect", "dump per-resource utilization, protocol-transition and protocol-counter tables for a run matrix")
+	procs := flags.Procs(16)
 	appsFlag := flag.String("apps", "", "comma-separated applications (default: all)")
 	ppnFlag := flag.String("ppn", "1,4", "comma-separated clustering degrees")
 	mpFlag := flag.String("mp", "50%", "comma-separated memory pressures (6%,50%,75%,81%,87%)")
@@ -36,9 +37,9 @@ func main() {
 	what := flag.String("what", "all", "what to dump: util, transitions, protocol or all")
 	format := flag.String("format", "text", "output format: text or csv")
 	events := flag.String("events", "", "write a JSONL event trace of the first run to this file")
-	outPath := flag.String("o", "", "output file (default: stdout)")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
-	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	outPath := flags.Output("")
+	jobs := flags.Jobs()
+	verbose := flags.Verbose()
 	flag.Parse()
 
 	appNames := experiments.Apps()
@@ -160,8 +161,5 @@ func dumpEvents(r *experiments.Runner, app string, cfg config.Machine, path stri
 }
 
 func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "inspect:", err)
-		os.Exit(1)
-	}
+	flags.Check("inspect", err)
 }

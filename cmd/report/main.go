@@ -8,19 +8,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"repro/internal/config/flags"
 	"repro/internal/experiments"
 	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
 func main() {
-	out := flag.String("o", "report.html", "output file")
-	verbose := flag.Bool("v", false, "progress to stderr")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flags.SetUsage("report", "regenerate the paper's evaluation as a single self-contained HTML page")
+	out := flags.Output("report.html")
+	verbose := flags.Verbose()
+	jobs := flags.Jobs()
+	cpuprofile, memprofile := flags.Profiles()
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -53,6 +53,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "report:", err)
-	os.Exit(1)
+	flags.Check("report", err)
 }

@@ -9,23 +9,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/config/flags"
 	"repro/internal/experiments"
 )
 
 func main() {
+	flags.SetUsage("sweep", "run a cartesian parameter sweep and emit one CSV row per simulated point")
 	apps := flag.String("apps", "", "comma-separated workloads (default: all 14)")
 	ppn := flag.String("ppn", "1,2,4", "comma-separated processors per node")
 	mps := flag.String("mp", "", "comma-separated pressures, e.g. 6%,50% (default: all 5)")
 	ways := flag.String("ways", "4", "comma-separated AM associativities")
 	dram := flag.String("dram", "1", "comma-separated DRAM bandwidth multipliers")
-	verbose := flag.Bool("v", false, "progress to stderr")
+	verbose := flags.Verbose()
 	dryRun := flag.Bool("n", false, "print the point count and exit")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
+	jobs := flags.Jobs()
 	flag.Parse()
 
 	spec := experiments.SweepSpec{
@@ -91,6 +92,5 @@ func mustFloats(s string) []float64 {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+	flags.Check("sweep", err)
 }

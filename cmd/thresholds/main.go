@@ -10,11 +10,13 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/config/flags"
 	"repro/internal/stats"
 )
 
 func main() {
-	procs := flag.Int("procs", 16, "total processors")
+	flags.SetUsage("thresholds", "print the paper's §4.2 analytical replication-threshold table")
+	procs := flags.Procs(16)
 	flag.Parse()
 
 	fmt.Println("Replication thresholds (paper Section 4.2): MP above which a line")
@@ -31,9 +33,7 @@ func main() {
 			t.Row(ppn, m.Nodes(), ways, stats.Pct(frac), fmt.Sprintf("%d/%d", num, den))
 		}
 	}
-	if err := t.Write(os.Stdout); err != nil {
-		panic(err)
-	}
+	flags.Check("thresholds", t.Write(os.Stdout))
 	fmt.Println()
 	fmt.Println("The paper's quoted points: 49/64 = 76.5% (1p, 4-way), 113/128 = 88.2%")
 	fmt.Println("(1p, 8-way), 13/16 = 81.25% (4p, 4-way), 29/32 = 90.6% (4p, 8-way).")

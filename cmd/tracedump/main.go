@@ -11,12 +11,14 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/config/flags"
 	"repro/internal/trace"
 )
 
 func main() {
+	flags.SetUsage("tracedump", "generate workload traces and print their summary statistics")
 	only := flag.String("app", "", "generate only this application (default: all)")
-	procs := flag.Int("procs", 16, "logical processor count")
+	procs := flags.Procs(16)
 	saveDir := flag.String("save", "", "serialize generated traces into this directory")
 	load := flag.String("load", "", "summarize a serialized trace file instead of generating")
 	flag.Parse()
@@ -80,6 +82,5 @@ func saveTrace(tr *trace.Trace, dir string) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracedump:", err)
-	os.Exit(1)
+	flags.Check("tracedump", err)
 }

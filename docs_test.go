@@ -1,0 +1,141 @@
+package repro_test
+
+// Documentation conformance tests, run by the CI docs job:
+//
+//   - every internal package carries a doc.go with a package comment;
+//   - relative links in the markdown docs resolve to real files;
+//   - API.md documents every route the server actually registers, and
+//     its CLI appendix names every command in cmd/.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// internalPackages walks internal/ and returns each directory that
+// contains Go source (skipping testdata).
+func internalPackages(t *testing.T) []string {
+	t.Helper()
+	var pkgs []string
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if d.Name() == "testdata" {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".go") {
+				pkgs = append(pkgs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func TestEveryInternalPackageHasDocGo(t *testing.T) {
+	for _, pkg := range internalPackages(t) {
+		doc := filepath.Join(pkg, "doc.go")
+		b, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: no doc.go (%v)", pkg, err)
+			continue
+		}
+		if !strings.Contains(string(b), "// Package ") {
+			t.Errorf("%s: doc.go has no package comment", doc)
+		}
+	}
+}
+
+// mdLink matches [text](target) link targets, excluding web URLs and
+// pure in-page anchors.
+var mdLink = regexp.MustCompile(`\]\(([^)#][^)]*)\)`)
+
+func TestMarkdownRelativeLinksResolve(t *testing.T) {
+	docs, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, "results/README.md")
+	for _, doc := range docs {
+		b, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(b), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", doc, m[1], err)
+			}
+		}
+	}
+}
+
+func TestAPIDocCoversEveryRoute(t *testing.T) {
+	b, err := os.ReadFile("API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := string(b)
+	for _, route := range server.Routes() {
+		method, pattern, ok := strings.Cut(route, " ")
+		if !ok {
+			t.Fatalf("malformed route %q", route)
+		}
+		// API.md writes routes as "METHOD /path" with the pattern
+		// verbatim (including {study} / {id} placeholders).
+		if !strings.Contains(api, method+" "+pattern) {
+			t.Errorf("API.md does not document route %q", route)
+		}
+	}
+	for _, study := range server.StudyNames() {
+		if !strings.Contains(api, study) {
+			t.Errorf("API.md does not mention study %q", study)
+		}
+	}
+}
+
+func TestAPIDocCLIAppendixNamesEveryCommand(t *testing.T) {
+	b, err := os.ReadFile("API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := string(b)
+	cmds, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		if !c.IsDir() {
+			continue
+		}
+		if !strings.Contains(api, "cmd/"+c.Name()) {
+			t.Errorf("API.md CLI appendix does not name cmd/%s", c.Name())
+		}
+	}
+}

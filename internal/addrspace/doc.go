@@ -1,0 +1,5 @@
+// Package addrspace models the simulated shared physical address space of
+// the machine: a demand-paged, consecutively allocated space (as in the
+// paper: "Data pages are allocated consecutively on demand"), plus the
+// line/set arithmetic the caches and attraction memories index with.
+package addrspace

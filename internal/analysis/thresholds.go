@@ -1,13 +1,3 @@
-// Package analysis implements the paper's Section 4.2 analytical model of
-// replication space: at which memory pressure does a set-associative
-// attraction memory stop having room to replicate one cache line in every
-// node of the machine?
-//
-// The paper derives: with single-processor nodes and 4-way AMs, above
-// 76.5% MP (49/64) a line can no longer be replicated over all 16 nodes,
-// while 8-way associativity moves the threshold to 88.2% (113/128); with
-// 4-processor clusters the levels are 81.25% (13/16) and 90.6% (29/32).
-// This package reproduces those numbers exactly and generalizes them.
 package analysis
 
 import "fmt"

@@ -1,9 +1,3 @@
-// Package apps implements the fourteen SPLASH-2-style workload kernels
-// that drive the simulator, standing in for the SPARC SPLASH-2 binaries
-// the paper executes under SimICS. Each kernel runs its algorithm for real
-// over a simulated shared address space (sorts really sort, factorizations
-// really factor — the test suite verifies results) while recording every
-// data reference, lock and barrier per logical processor.
 package apps
 
 import (

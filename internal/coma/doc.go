@@ -1,0 +1,8 @@
+// Package coma implements the bus-based COMA coherence protocol of the
+// paper (after Landin & Dahlgren, "Bus-Based COMA", HPCA-2): snooping
+// attraction memories with four states per line — Exclusive, Owner,
+// Shared, Invalid — an invalidation protocol, and an accept-based
+// replacement strategy. Since the entire memory is cache, an evicted line
+// in state Exclusive or Owner must be relocated to another attraction
+// memory so the datum is never lost.
+package coma

@@ -1,11 +1,7 @@
-// Package config derives concrete machine parameterizations from the
-// paper's methodology: cache sizes scale with the application working set
-// (SLC = WS/128), the attraction memory size follows from the memory
-// pressure (MP = WS / total AM), and the per-processor AM quota is held
-// constant across clustering degrees.
 package config
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/addrspace"
@@ -45,6 +41,27 @@ func PressureByLabel(label string) (Pressure, error) {
 
 // Fraction returns the memory pressure as a fraction of total AM capacity.
 func (p Pressure) Fraction() float64 { return float64(p.K) / 16 }
+
+// MarshalJSON encodes the pressure as its label ("50%"), the form the
+// comasrv API and the CLI flags share.
+func (p Pressure) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.Label)
+}
+
+// UnmarshalJSON decodes a pressure label ("50%") into one of the paper's
+// operating points.
+func (p *Pressure) UnmarshalJSON(data []byte) error {
+	var label string
+	if err := json.Unmarshal(data, &label); err != nil {
+		return err
+	}
+	got, err := PressureByLabel(label)
+	if err != nil {
+		return err
+	}
+	*p = got
+	return nil
+}
 
 // Machine holds the tunables of one simulated configuration on top of a
 // workload's working set.

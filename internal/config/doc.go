@@ -1,0 +1,6 @@
+// Package config derives concrete machine parameterizations from the
+// paper's methodology: cache sizes scale with the application working set
+// (SLC = WS/128), the attraction memory size follows from the memory
+// pressure (MP = WS / total AM), and the per-processor AM quota is held
+// constant across clustering degrees.
+package config

@@ -1,0 +1,67 @@
+package flags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// SetUsage installs a uniform usage printer on the default flag set:
+// a one-line synopsis followed by the flag defaults. Every command calls
+// it before flag.Parse so `-h` output has the same shape everywhere.
+func SetUsage(cmd, synopsis string) {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n%s\n\nflags:\n", cmd, synopsis)
+		flag.PrintDefaults()
+	}
+}
+
+// Check exits with the uniform error format "<cmd>: <err>" and status 1
+// when err is non-nil.
+func Check(cmd string, err error) {
+	if err != nil {
+		Fatalf(cmd, "%v", err)
+	}
+}
+
+// Fatalf prints "<cmd>: <message>" to stderr and exits with status 1.
+func Fatalf(cmd, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", cmd, fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// Jobs registers the shared -jobs flag: the worker-pool width for
+// simulation run matrices. Output is byte-identical for any value.
+func Jobs() *int {
+	return flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (output is identical for any value)")
+}
+
+// Verbose registers the shared -v flag.
+func Verbose() *bool {
+	return flag.Bool("v", false, "print per-run progress to stderr")
+}
+
+// Procs registers the shared -procs flag with the given default
+// (the paper's machine is 16 processors).
+func Procs(def int) *int {
+	return flag.Int("procs", def, "total processor count")
+}
+
+// Profiles registers the shared -cpuprofile and -memprofile flags
+// consumed by profiling.Start.
+func Profiles() (cpuprofile, memprofile *string) {
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpuprofile, memprofile
+}
+
+// Output registers the shared -o output-file flag; an empty default
+// means stdout.
+func Output(def string) *string {
+	usage := "output file"
+	if def == "" {
+		usage += " (default: stdout)"
+	}
+	return flag.String("o", def, usage)
+}

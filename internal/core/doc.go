@@ -1,0 +1,13 @@
+// Package core is the public facade of the COMA clustering simulator: it
+// ties the workload kernels, the machine configuration methodology and the
+// timing simulator together behind a small API.
+//
+// A typical use:
+//
+//	tr := core.MustWorkload("radix", 16)
+//	res, err := core.Run(tr, core.Config{ProcsPerNode: 4, Pressure: core.MP81})
+//	fmt.Println(res.RNMr(), res.ExecTime)
+//
+// Everything a run produces — execution-time breakdowns, read-node-miss
+// rates, per-class bus traffic, protocol counters — is in Result.
+package core

@@ -1,11 +1,3 @@
-// Package engine provides the discrete-time primitives the memory-system
-// simulator is built on: a nanosecond clock type and FCFS occupancy
-// resources that model contention for buses, memories and controllers.
-//
-// The simulator advances processors in strict global time order, so a
-// resource only ever sees requests with non-decreasing arrival times from
-// the scheduler's point of view; Claim then yields first-come-first-served
-// service with queueing delay when the resource is busy.
 package engine
 
 import (

@@ -1,0 +1,13 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 (applications), Figure 2 (relative read node miss
+// rates under clustering), Figures 3 and 4 (bus traffic by class across
+// memory pressures), Figure 5 (execution-time breakdowns) and the Section
+// 4.3 bandwidth sensitivity studies.
+//
+// Every (application, configuration) simulation is an independent pure
+// function of its inputs, so the Runner executes full run matrices on a
+// worker pool (see pool.go) while keeping results memoized and
+// deduplicated: concurrent requests for the same run share a single
+// simulation. All aggregation happens after the pool barrier, in registry
+// order, so output is bit-identical regardless of Jobs.
+package experiments

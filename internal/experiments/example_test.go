@@ -1,0 +1,33 @@
+package experiments_test
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+)
+
+// ExampleRunner runs the paper's core comparison for one workload: the
+// same application on a flat COMA and on a 4-processor-per-node cluster
+// with a shared attraction memory. Results are memoized, so asking again
+// is free.
+func ExampleRunner() {
+	r := experiments.NewRunner()
+	r.Procs = 8 // small machine to keep the example quick
+
+	flat, err := r.Run("fft", config.Baseline(1, config.MP6))
+	if err != nil {
+		panic(err)
+	}
+	clustered, err := r.Run("fft", config.Baseline(4, config.MP6))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("flat machine reads:", flat.Reads == clustered.Reads)
+	fmt.Println("clustering reduces read node misses:",
+		clustered.ReadNodeMisses < flat.ReadNodeMisses)
+	// Output:
+	// flat machine reads: true
+	// clustering reduces read node misses: true
+}

@@ -63,7 +63,7 @@ func TestSensitivityNodeDeterministicAcrossJobs(t *testing.T) {
 func TestRunConcurrentSameKeySimulatesOnce(t *testing.T) {
 	r := runner8(4)
 	var sims atomic.Int64
-	r.onSimulate = func(string, config.Machine) { sims.Add(1) }
+	r.OnSimulate = func(string, config.Machine) { sims.Add(1) }
 	cfg := config.Baseline(1, config.MP6)
 
 	const callers = 16

@@ -1,18 +1,7 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation: Table 1 (applications), Figure 2 (relative read node miss
-// rates under clustering), Figures 3 and 4 (bus traffic by class across
-// memory pressures), Figure 5 (execution-time breakdowns) and the Section
-// 4.3 bandwidth sensitivity studies.
-//
-// Every (application, configuration) simulation is an independent pure
-// function of its inputs, so the Runner executes full run matrices on a
-// worker pool (see pool.go) while keeping results memoized and
-// deduplicated: concurrent requests for the same run share a single
-// simulation. All aggregation happens after the pool barrier, in registry
-// order, so output is bit-identical regardless of Jobs.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -21,6 +10,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/config"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -36,6 +26,22 @@ type Runner struct {
 	// Jobs bounds the number of concurrent simulations a run matrix fans
 	// out to; 0 means runtime.NumCPU().
 	Jobs int
+	// Ctx, when non-nil, bounds every simulation this runner executes:
+	// cancelling it makes in-flight machine runs stop between scheduler
+	// steps and surface the context's error. Set before first use (the
+	// comasrv daemon threads per-job contexts through here).
+	Ctx context.Context
+	// OnSimulate, when non-nil, is invoked once per simulation actually
+	// executed (memoized hits do not call it) — the seam the
+	// singleflight-deduplication tests and the comasrv cache-efficiency
+	// counters hang off.
+	OnSimulate func(app string, cfg config.Machine)
+	// SinkFactory, when non-nil, supplies an observability sink for each
+	// machine this runner builds (instrumentation is proven not to
+	// perturb results; see internal/obs). The factory is called from
+	// worker goroutines, so it — and the sinks it returns, if shared —
+	// must be safe for concurrent use.
+	SinkFactory func(app string, cfg config.Machine) obs.Sink
 
 	mu      sync.Mutex
 	traces  map[string]*traceCell
@@ -44,11 +50,6 @@ type Runner struct {
 	// before dispatch and releases as jobs finish, evicting the cached
 	// trace at zero so driver runs don't retain every workload at once.
 	tracePins map[string]int
-
-	// onSimulate, when non-nil, is invoked once per simulation actually
-	// executed (memoized hits do not call it) — a test seam for the
-	// singleflight deduplication.
-	onSimulate func(app string, cfg config.Machine)
 }
 
 type runKey struct {
@@ -74,6 +75,14 @@ type resultCell struct {
 // NewRunner returns a Runner for the paper's 16-processor machine.
 func NewRunner() *Runner {
 	return &Runner{Procs: 16}
+}
+
+// ctx resolves the runner's simulation context.
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // jobs resolves the worker-pool width.
@@ -148,14 +157,17 @@ func (r *Runner) simulate(app string, cfg config.Machine) (*machine.Result, erro
 	if err != nil {
 		return nil, err
 	}
-	if r.onSimulate != nil {
-		r.onSimulate(app, cfg)
+	if r.OnSimulate != nil {
+		r.OnSimulate(app, cfg)
 	}
 	m, err := machine.New(cfg.Params(tr.WorkingSet))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", app, err)
 	}
-	res, err := m.Run(tr)
+	if r.SinkFactory != nil {
+		m.SetSink(r.SinkFactory(app, cfg))
+	}
+	res, err := m.RunContext(r.ctx(), tr)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", app, err)
 	}

@@ -1,8 +1,3 @@
-// Package machine is the whole-machine timing simulator: it interleaves
-// the per-processor reference streams through the cache hierarchy and the
-// COMA protocol, modelling contention for second-level caches, node
-// controllers, attraction-memory DRAMs and the global shared bus, plus the
-// release-consistent write buffers and the synchronization primitives.
 package machine
 
 import (

@@ -1,15 +1,3 @@
-// Package numa implements a cache-coherent NUMA memory system as the
-// comparison baseline the paper argues against (Section 2: in a UMA or
-// NUMA, replacement "results in increased traffic and cache misses" but
-// data has a fixed backing home; in a COMA the whole memory attracts
-// data). Pages take first-touch homes; remote misses always travel to the
-// home (or the current dirty holder) and nothing is installed in local
-// memory, so there is no attraction, no replication beyond the SLCs, and
-// no replacement traffic class.
-//
-// It plugs into the same machine model through machine.NewWithMem, so a
-// NUMA run differs from a COMA run only in the node-level memory system —
-// a clean ablation.
 package numa
 
 import (

@@ -1,0 +1,21 @@
+// Package obs is the simulator's opt-in observability layer: typed events
+// emitted from the timing core and the coherence protocol, a sink
+// interface to receive them, and ready-made sinks (counting, ring buffer,
+// JSONL stream).
+//
+// Design rules (DESIGN.md §6):
+//
+//   - Disabled is free. Instrumented code guards every emission with
+//     Recorder.Enabled (or a nil-sink check), so the default path does no
+//     event construction and allocates zero bytes — enforced by a
+//     zero-allocation test and the BenchmarkObservability pair.
+//   - Events are plain values. Event is a flat struct of integers; Emit
+//     passes it by value so enabling a counting sink stays allocation-free
+//     on the hot path too.
+//   - Determinism. A simulation run is single-goroutine; events arrive in
+//     a deterministic order for a fixed (trace, machine), so streamed
+//     event logs are byte-stable and safe to diff.
+//
+// The package deliberately imports nothing from the simulator so every
+// layer (engine, coma, machine) can emit without import cycles.
+package obs

@@ -1,6 +1,3 @@
-// Package profiling wires the standard pprof CPU and heap profilers to
-// command-line flags. It is shared by the cmd/ binaries so every tool
-// accepts the same -cpuprofile/-memprofile pair.
 package profiling
 
 import (

@@ -1,0 +1,4 @@
+// Package report renders the full experiment suite into a single
+// self-contained HTML page with inline SVG charts — a shareable artifact
+// of a reproduction run (cmd/report writes it).
+package report

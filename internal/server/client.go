@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a minimal typed client for the comasrv API, used by the CI
+// smoke test and as the documented programmatic entry point. The zero
+// value is not usable; construct with NewClient.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient defaults to a client with a generous timeout
+	// (simulations are seconds, not milliseconds).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTPClient: &http.Client{Timeout: 10 * time.Minute}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.httpClient().Do(req)
+}
+
+// decode reads resp, translating non-2xx answers into errors carrying
+// the server's {"error": ...} message.
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(b, v)
+}
+
+// Simulate runs (or fetches) one simulation and returns the decoded
+// result plus the envelope reporting the content address and cache
+// disposition.
+func (c *Client) Simulate(ctx context.Context, req SimRequest) (SimResult, SimEnvelope, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/simulate", req)
+	if err != nil {
+		return SimResult{}, SimEnvelope{}, err
+	}
+	var env SimEnvelope
+	if err := decode(resp, &env); err != nil {
+		return SimResult{}, SimEnvelope{}, err
+	}
+	var res SimResult
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		return SimResult{}, SimEnvelope{}, err
+	}
+	return res, env, nil
+}
+
+// Study runs (or fetches) a study and returns its text artifact —
+// byte-identical to the cmd/experiments rendering — plus whether it was
+// served from the store.
+func (c *Client) Study(ctx context.Context, study string, req StudyRequest) (body []byte, cached bool, err error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/studies/"+study, req)
+	if err != nil {
+		return nil, false, err
+	}
+	cached = resp.Header.Get("X-Comasrv-Cached") == "true"
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return nil, false, fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, false, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return b, cached, nil
+}
+
+// SimulateAsync submits a simulation job and returns its initial view.
+func (c *Client) SimulateAsync(ctx context.Context, req SimRequest) (JobView, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/simulate?async=1", req)
+	if err != nil {
+		return JobView{}, err
+	}
+	var v JobView
+	err = decode(resp, &v)
+	return v, err
+}
+
+// Job fetches the current view of a job.
+func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobView{}, err
+	}
+	var v JobView
+	err = decode(resp, &v)
+	return v, err
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobView, error) {
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobView{}, err
+	}
+	var v JobView
+	err = decode(resp, &v)
+	return v, err
+}
+
+// Wait polls a job until it leaves the queued/running states or ctx is
+// done.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobView, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return JobView{}, err
+		}
+		if v.Status != JobQueued && v.Status != JobRunning {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Metrics fetches the service counters.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/metrics", nil)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var m Metrics
+	err = decode(resp, &m)
+	return m, err
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	return decode(resp, nil)
+}
+
+// Workloads lists the registered workload names.
+func (c *Client) Workloads(ctx context.Context) ([]string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/workloads", nil)
+	if err != nil {
+		return nil, err
+	}
+	var v struct {
+		Workloads []string `json:"workloads"`
+	}
+	err = decode(resp, &v)
+	return v.Workloads, err
+}

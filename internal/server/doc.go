@@ -1,0 +1,21 @@
+// Package server implements comasrv, the long-running HTTP daemon that
+// exposes the simulation and experiment engine as a JSON API (see API.md
+// at the repository root for the wire contract).
+//
+// The design centers on content-addressed results: every request is
+// canonicalized (defaults spelled out, schema version baked in) and
+// hashed, and the hash keys a two-level persistent store
+// (internal/server/store). Identical requests — across clients and
+// across daemon restarts — are served from the store without running a
+// simulation; concurrent identical requests collapse onto a single
+// in-flight computation (singleflight). Study renderings go through the
+// same internal/experiments code paths as the CLI tools, so API bytes
+// are identical to cmd/experiments output.
+//
+// Simulation concurrency is bounded by a weighted slot pool: a single
+// run takes one slot, a study takes the whole pool, so at most -jobs
+// simulations execute at any moment. Cancellation (client disconnect,
+// request timeout, DELETE /v1/jobs/{id}, daemon shutdown) propagates
+// through contexts into the machine scheduler, which stops between
+// steps.
+package server

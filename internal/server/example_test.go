@@ -1,0 +1,45 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/server"
+)
+
+// ExampleClient drives the comasrv API programmatically: the first
+// request simulates, the identical repeat is served from the
+// content-addressed store.
+func ExampleClient() {
+	srv, err := server.New(server.Config{Jobs: 2}) // empty StoreDir: memory-only
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := server.NewClient(ts.URL)
+	ctx := context.Background()
+	req := server.SimRequest{App: "fft", Procs: 8, MP: "6%"}
+
+	res, env, err := c.Simulate(ctx, req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("first request cached:", env.Cached)
+	fmt.Println("positive execution time:", res.ExecTimeNs > 0)
+
+	again, env2, err := c.Simulate(ctx, req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("repeat cached:", env2.Cached)
+	fmt.Println("identical result:", again == res)
+	// Output:
+	// first request cached: false
+	// positive execution time: true
+	// repeat cached: true
+	// identical result: true
+}

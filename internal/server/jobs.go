@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/server/store"
+)
+
+// JobStatus is the lifecycle of an asynchronous request.
+type JobStatus string
+
+// Job states. Queued jobs wait for a simulation slot; a cancelled job
+// stops between scheduler steps of the running simulation.
+const (
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
+)
+
+// JobView is the GET /v1/jobs/{id} payload.
+type JobView struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	// Key is the request's content address.
+	Key string `json:"key"`
+	// Cached reports whether the finished result came from the store.
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the failure message for failed/cancelled jobs.
+	Error string `json:"error,omitempty"`
+	// ResultURL is where to fetch the body once Status is done.
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// job tracks one asynchronous request through its lifecycle.
+type job struct {
+	id     string
+	key    store.Key
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	status      JobStatus
+	err         string
+	body        []byte
+	contentType string
+	cached      bool
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{ID: j.id, Status: j.status, Key: j.key.String(), Cached: j.cached, Error: j.err}
+	if j.status == JobDone {
+		v.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	return v
+}
+
+// setRunning flips queued → running; it reports false when the job was
+// cancelled first.
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != JobQueued {
+		return false
+	}
+	j.status = JobRunning
+	return true
+}
+
+func (j *job) finish(body []byte, contentType string, cached bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == JobCancelled {
+		return // cancellation outcome wins over a racing completion
+	}
+	if err != nil {
+		j.status = JobFailed
+		if errors.Is(err, context.Canceled) {
+			j.status = JobCancelled
+		}
+		j.err = err.Error()
+		return
+	}
+	j.status = JobDone
+	j.body = body
+	j.contentType = contentType
+	j.cached = cached
+}
+
+func (j *job) markCancelled() {
+	j.mu.Lock()
+	if j.status == JobQueued || j.status == JobRunning {
+		j.status = JobCancelled
+		j.err = "cancelled by client"
+	}
+	j.mu.Unlock()
+}
+
+// maxJobs bounds the retained job table; the oldest finished jobs are
+// evicted first so a polling client only loses results it abandoned.
+const maxJobs = 1024
+
+// newJob registers a queued job and returns it.
+func (s *Server) newJob(key store.Key, cancel context.CancelFunc) *job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobSeq++
+	j := &job{id: fmt.Sprintf("j%06d", s.jobSeq), key: key, cancel: cancel, status: JobQueued}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	for len(s.jobOrder) > maxJobs {
+		evicted := false
+		for i, id := range s.jobOrder {
+			old := s.jobs[id]
+			old.mu.Lock()
+			finished := old.status == JobDone || old.status == JobFailed || old.status == JobCancelled
+			old.mu.Unlock()
+			if finished {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything is still live; let the table grow
+		}
+	}
+	return j
+}
+
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/server/store"
+)
+
+// Metrics is the GET /v1/metrics payload: service counters, the result
+// store's hit/miss counters, and the aggregated observability view of
+// every simulation the daemon has executed (event counts from
+// internal/obs and the engine's bus/DRAM occupancy totals).
+type Metrics struct {
+	// Service counters.
+	Requests         int64 `json:"requests"`
+	BadRequests      int64 `json:"bad_requests"`
+	SimsExecuted     int64 `json:"sims_executed"`
+	FlightsExecuted  int64 `json:"flights_executed"`
+	FlightsCollapsed int64 `json:"flights_collapsed"`
+	CacheHits        int64 `json:"cache_hits"`
+	CacheBypassed    int64 `json:"cache_bypassed"`
+	JobsCreated      int64 `json:"jobs_created"`
+	JobsCancelled    int64 `json:"jobs_cancelled"`
+	ActiveFlights    int64 `json:"active_flights"`
+	SimSlots         int64 `json:"sim_slots"`
+	SimulatedExecNs  int64 `json:"simulated_exec_ns"`
+	SimulatedRuns    int64 `json:"simulated_runs"`
+
+	// Store is the result store's counters.
+	Store store.Stats `json:"store"`
+
+	// Obs aggregates instrumentation events across all executed
+	// simulations (see internal/obs for the taxonomy).
+	Obs ObsMetrics `json:"obs"`
+}
+
+// ObsMetrics is the JSON shape of the aggregated observability counters.
+type ObsMetrics struct {
+	EventsTotal int64            `json:"events_total"`
+	Events      map[string]int64 `json:"events"`
+	Transitions int64            `json:"am_transitions"`
+	BusOccNs    [3]int64         `json:"bus_occ_ns"` // read, write, replace
+	WBStallNs   int64            `json:"wb_stall_ns"`
+}
+
+// counters is the server's internal mutable state behind Metrics.
+type counters struct {
+	requests         atomic.Int64
+	badRequests      atomic.Int64
+	simsExecuted     atomic.Int64
+	flightsExecuted  atomic.Int64
+	flightsCollapsed atomic.Int64
+	cacheHits        atomic.Int64
+	cacheBypassed    atomic.Int64
+	jobsCreated      atomic.Int64
+	jobsCancelled    atomic.Int64
+	activeFlights    atomic.Int64
+	simulatedExecNs  atomic.Int64
+	simulatedRuns    atomic.Int64
+}
+
+// lockedCounting is a concurrency-safe obs sink shared by every machine
+// the daemon builds: distinct machines emit from distinct goroutines, so
+// the per-event mutex buys global aggregation at a small, service-only
+// cost (CLI runs stay un-instrumented).
+type lockedCounting struct {
+	mu sync.Mutex
+	c  obs.Counting
+}
+
+// Emit implements obs.Sink.
+func (l *lockedCounting) Emit(e obs.Event) {
+	l.mu.Lock()
+	l.c.Emit(e)
+	l.mu.Unlock()
+}
+
+// snapshot copies the aggregate counters into the JSON shape.
+func (l *lockedCounting) snapshot() ObsMetrics {
+	l.mu.Lock()
+	c := l.c
+	l.mu.Unlock()
+	m := ObsMetrics{
+		EventsTotal: c.Total(),
+		Events:      make(map[string]int64, obs.NumKinds),
+		Transitions: c.TransitionTotal(),
+		WBStallNs:   c.WBStallNs,
+	}
+	for k := 0; k < obs.NumKinds; k++ {
+		m.Events[obs.Kind(k).String()] = c.Kinds[k]
+	}
+	for i, v := range c.BusOccNs {
+		m.BusOccNs[i] = v
+	}
+	return m
+}

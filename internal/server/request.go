@@ -1,0 +1,256 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/server/store"
+)
+
+// schemaVersion is baked into every content-address so results computed
+// by an incompatible request or response schema can never be served from
+// the store. Bump it together with intended timing-model or rendering
+// changes (the same events that regenerate the CLI goldens).
+const schemaVersion = 1
+
+// SimRequest is the body of POST /v1/simulate: one (workload, machine
+// configuration) run. Zero fields take the paper's defaults, mirroring
+// cmd/comasim's flags; the canonical form spells every default out so
+// equivalent requests hash to the same content address.
+type SimRequest struct {
+	// App is the workload name (required; see GET /v1/workloads).
+	App string `json:"app"`
+	// Procs is the machine size (default 16, the paper's).
+	Procs int `json:"procs,omitempty"`
+	// ProcsPerNode is the clustering degree (default 1).
+	ProcsPerNode int `json:"procs_per_node,omitempty"`
+	// MP is the memory-pressure label: 6%, 50%, 75%, 81%, 87%
+	// (default 50%).
+	MP string `json:"mp,omitempty"`
+	// AMWays is the attraction-memory associativity (default 4).
+	AMWays int `json:"am_ways,omitempty"`
+	// Bandwidth multipliers, 1.0 = paper baseline.
+	DRAMBandwidth float64 `json:"dram_bw,omitempty"`
+	NCBandwidth   float64 `json:"nc_bw,omitempty"`
+	BusBandwidth  float64 `json:"bus_bw,omitempty"`
+	// Inclusive selects the inclusive hierarchy (default true).
+	Inclusive *bool `json:"inclusive,omitempty"`
+	// WriteUpdate selects the write-update protocol ablation.
+	WriteUpdate bool `json:"write_update,omitempty"`
+}
+
+// canonSim is the canonical (fully defaulted) form that is hashed into
+// the content address. Field order is fixed by the struct; there are no
+// maps, so the encoding is byte-deterministic.
+type canonSim struct {
+	Schema       int     `json:"schema"`
+	Kind         string  `json:"kind"`
+	App          string  `json:"app"`
+	Procs        int     `json:"procs"`
+	ProcsPerNode int     `json:"procs_per_node"`
+	MP           string  `json:"mp"`
+	AMWays       int     `json:"am_ways"`
+	DRAM         float64 `json:"dram_bw"`
+	NC           float64 `json:"nc_bw"`
+	Bus          float64 `json:"bus_bw"`
+	Inclusive    bool    `json:"inclusive"`
+	WriteUpdate  bool    `json:"write_update"`
+}
+
+// normalize validates the request, fills defaults in place, and returns
+// the machine configuration it describes.
+func (r *SimRequest) normalize() (config.Machine, error) {
+	if r.App == "" {
+		return config.Machine{}, fmt.Errorf("missing required field %q", "app")
+	}
+	if _, err := apps.ByName(r.App); err != nil {
+		return config.Machine{}, err
+	}
+	if r.Procs == 0 {
+		r.Procs = 16
+	}
+	if r.ProcsPerNode == 0 {
+		r.ProcsPerNode = 1
+	}
+	if r.Procs < 1 || r.ProcsPerNode < 1 || r.Procs%r.ProcsPerNode != 0 {
+		return config.Machine{}, fmt.Errorf("procs (%d) must be a positive multiple of procs_per_node (%d)", r.Procs, r.ProcsPerNode)
+	}
+	if r.MP == "" {
+		r.MP = "50%"
+	}
+	mp, err := config.PressureByLabel(r.MP)
+	if err != nil {
+		return config.Machine{}, err
+	}
+	if r.AMWays == 0 {
+		r.AMWays = 4
+	}
+	if r.DRAMBandwidth == 0 {
+		r.DRAMBandwidth = 1
+	}
+	if r.NCBandwidth == 0 {
+		r.NCBandwidth = 1
+	}
+	if r.BusBandwidth == 0 {
+		r.BusBandwidth = 1
+	}
+	if r.Inclusive == nil {
+		t := true
+		r.Inclusive = &t
+	}
+	cfg := config.Baseline(r.ProcsPerNode, mp)
+	cfg.Procs = r.Procs
+	cfg.AMWays = r.AMWays
+	cfg.DRAMBandwidth = r.DRAMBandwidth
+	cfg.NCBandwidth = r.NCBandwidth
+	cfg.BusBandwidth = r.BusBandwidth
+	cfg.Inclusive = *r.Inclusive
+	cfg.Policy.WriteUpdate = r.WriteUpdate
+	return cfg, nil
+}
+
+// key content-addresses the normalized request.
+func (r *SimRequest) key() store.Key {
+	c := canonSim{
+		Schema: schemaVersion, Kind: "simulate",
+		App: r.App, Procs: r.Procs, ProcsPerNode: r.ProcsPerNode, MP: r.MP,
+		AMWays: r.AMWays, DRAM: r.DRAMBandwidth, NC: r.NCBandwidth,
+		Bus: r.BusBandwidth, Inclusive: *r.Inclusive, WriteUpdate: r.WriteUpdate,
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(err) // canonSim is a flat struct; Marshal cannot fail
+	}
+	return store.KeyOf(b)
+}
+
+// StudyRequest is the optional body of POST /v1/studies/{name}. An empty
+// body runs the paper's configuration.
+type StudyRequest struct {
+	// Procs is the machine size (default 16).
+	Procs int `json:"procs,omitempty"`
+	// Chart renders figures 3-5 as stacked bar charts (the CLI's -chart).
+	Chart bool `json:"chart,omitempty"`
+
+	// The remaining fields parameterize the sweep study only (they
+	// mirror cmd/sweep's flags) and are rejected elsewhere.
+	Apps         []string  `json:"apps,omitempty"`
+	ProcsPerNode []int     `json:"ppn,omitempty"`
+	MP           []string  `json:"mp,omitempty"`
+	AMWays       []int     `json:"ways,omitempty"`
+	DRAM         []float64 `json:"dram,omitempty"`
+}
+
+// studies maps API study names onto CLI artifact names. The API exposes
+// the paper-facing names; RenderArtifact keeps the bytes identical to
+// cmd/experiments.
+var studies = map[string]string{
+	"table1":     "table1",
+	"figure2":    "fig2",
+	"figure3":    "fig3",
+	"figure4":    "fig4",
+	"figure5":    "fig5",
+	"thresholds": "thresholds",
+}
+
+// StudyNames lists the valid study endpoint names (the map above plus
+// "sweep"), in API.md order.
+func StudyNames() []string {
+	return []string{"table1", "figure2", "figure3", "figure4", "figure5", "thresholds", "sweep"}
+}
+
+type canonStudy struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	Study  string `json:"study"`
+	Procs  int    `json:"procs"`
+	Chart  bool   `json:"chart"`
+
+	Apps []string  `json:"apps,omitempty"`
+	PPN  []int     `json:"ppn,omitempty"`
+	MP   []string  `json:"mp,omitempty"`
+	Ways []int     `json:"ways,omitempty"`
+	DRAM []float64 `json:"dram,omitempty"`
+}
+
+// normalize validates the study request against the study name and fills
+// defaults, expanding sweep lists to their explicit forms so equivalent
+// spellings share a content address.
+func (r *StudyRequest) normalize(study string) (experiments.SweepSpec, error) {
+	if r.Procs == 0 {
+		r.Procs = 16
+	}
+	if r.Procs < 1 {
+		return experiments.SweepSpec{}, fmt.Errorf("procs must be positive")
+	}
+	if study != "sweep" {
+		if _, ok := studies[study]; !ok {
+			return experiments.SweepSpec{}, fmt.Errorf("unknown study %q (known: %v)", study, StudyNames())
+		}
+		if len(r.Apps) != 0 || len(r.ProcsPerNode) != 0 || len(r.MP) != 0 || len(r.AMWays) != 0 || len(r.DRAM) != 0 {
+			return experiments.SweepSpec{}, fmt.Errorf("sweep parameters (apps, ppn, mp, ways, dram) are only valid for the sweep study")
+		}
+		if r.Chart && study != "figure3" && study != "figure4" && study != "figure5" {
+			return experiments.SweepSpec{}, fmt.Errorf("chart is only valid for figure3, figure4 and figure5")
+		}
+		return experiments.SweepSpec{}, nil
+	}
+	if r.Chart {
+		return experiments.SweepSpec{}, fmt.Errorf("chart is not valid for the sweep study")
+	}
+	if len(r.Apps) == 0 {
+		r.Apps = apps.Names()
+	}
+	for _, a := range r.Apps {
+		if _, err := apps.ByName(a); err != nil {
+			return experiments.SweepSpec{}, err
+		}
+	}
+	if len(r.ProcsPerNode) == 0 {
+		r.ProcsPerNode = []int{1, 2, 4}
+	}
+	if len(r.MP) == 0 {
+		for _, p := range config.Pressures {
+			r.MP = append(r.MP, p.Label)
+		}
+	}
+	spec := experiments.SweepSpec{
+		Apps:         r.Apps,
+		ProcsPerNode: r.ProcsPerNode,
+		AMWays:       r.AMWays,
+		DRAM:         r.DRAM,
+	}
+	for _, label := range r.MP {
+		p, err := config.PressureByLabel(label)
+		if err != nil {
+			return experiments.SweepSpec{}, err
+		}
+		spec.Pressures = append(spec.Pressures, p)
+	}
+	if len(r.AMWays) == 0 {
+		r.AMWays = []int{4}
+		spec.AMWays = r.AMWays
+	}
+	if len(r.DRAM) == 0 {
+		r.DRAM = []float64{1}
+		spec.DRAM = r.DRAM
+	}
+	return spec, nil
+}
+
+// key content-addresses the normalized study request.
+func (r *StudyRequest) key(study string) store.Key {
+	c := canonStudy{
+		Schema: schemaVersion, Kind: "study", Study: study,
+		Procs: r.Procs, Chart: r.Chart,
+		Apps: r.Apps, PPN: r.ProcsPerNode, MP: r.MP, Ways: r.AMWays, DRAM: r.DRAM,
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(err)
+	}
+	return store.KeyOf(b)
+}

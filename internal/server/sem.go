@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// weighted is a small weighted semaphore (stdlib-only, context-aware):
+// the daemon's simulation pool. A single-run flight acquires one slot; a
+// study flight acquires the whole pool, so at most -jobs simulations
+// execute at any moment regardless of how flights overlap. Waiters are
+// served FIFO so a pool-wide acquisition cannot starve behind a stream
+// of single slots.
+type weighted struct {
+	size int64
+
+	mu      sync.Mutex
+	cur     int64
+	waiters []*waiter // FIFO
+}
+
+type waiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+func newWeighted(size int64) *weighted {
+	if size < 1 {
+		size = 1
+	}
+	return &weighted{size: size}
+}
+
+// Size returns the pool capacity; acquisitions are clamped to it.
+func (w *weighted) Size() int64 { return w.size }
+
+// Acquire blocks until n slots (clamped to the pool size) are held or
+// ctx is done.
+func (w *weighted) Acquire(ctx context.Context, n int64) error {
+	if n > w.size {
+		n = w.size
+	}
+	if n < 1 {
+		n = 1
+	}
+	w.mu.Lock()
+	if len(w.waiters) == 0 && w.cur+n <= w.size {
+		w.cur += n
+		w.mu.Unlock()
+		return nil
+	}
+	wt := &waiter{n: n, ready: make(chan struct{})}
+	w.waiters = append(w.waiters, wt)
+	w.mu.Unlock()
+
+	select {
+	case <-wt.ready:
+		return nil
+	case <-ctx.Done():
+		w.mu.Lock()
+		select {
+		case <-wt.ready:
+			// Granted between ctx firing and the lock: give it back.
+			w.cur -= wt.n
+			w.grant()
+			w.mu.Unlock()
+			return ctx.Err()
+		default:
+		}
+		for i, q := range w.waiters {
+			if q == wt {
+				w.waiters = append(w.waiters[:i], w.waiters[i+1:]...)
+				break
+			}
+		}
+		w.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns n slots (clamped like Acquire) to the pool.
+func (w *weighted) Release(n int64) {
+	if n > w.size {
+		n = w.size
+	}
+	if n < 1 {
+		n = 1
+	}
+	w.mu.Lock()
+	w.cur -= n
+	if w.cur < 0 {
+		panic("server: semaphore released more than acquired")
+	}
+	w.grant()
+	w.mu.Unlock()
+}
+
+// grant admits queued waiters in FIFO order while they fit. Caller holds
+// the mutex.
+func (w *weighted) grant() {
+	for len(w.waiters) > 0 {
+		wt := w.waiters[0]
+		if w.cur+wt.n > w.size {
+			return
+		}
+		w.cur += wt.n
+		w.waiters = w.waiters[1:]
+		close(wt.ready)
+	}
+}

@@ -1,0 +1,533 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/coma"
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/server/store"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Jobs is the simulation-slot pool size shared by every request
+	// (0 = runtime.NumCPU()). A single-run request takes one slot, a
+	// study takes the whole pool, so at most Jobs simulations execute
+	// concurrently machine-wide.
+	Jobs int
+	// StoreDir roots the persistent result store; empty runs
+	// memory-only.
+	StoreDir string
+	// StoreMemBytes is the in-memory LRU budget (0 = store.DefaultMemBytes).
+	StoreMemBytes int64
+	// Timeout bounds each request's simulation time (0 = unbounded).
+	Timeout time.Duration
+}
+
+// Server is the comasrv HTTP API: the experiment engine behind
+// content-addressed caching, request collapsing and a bounded simulation
+// pool. Create with New, serve with the embedded handler, stop with
+// Close.
+type Server struct {
+	cfg   Config
+	store *store.Store
+	mux   *http.ServeMux
+	pool  *weighted
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	flightsMu sync.Mutex
+	flights   map[flightKey]*flight
+
+	jobsMu   sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string
+	jobSeq   int
+
+	counters counters
+	obsSink  *lockedCounting
+}
+
+// flightKey separates cacheable flights from forced (?nocache=1) ones:
+// a forced recompute must not satisfy waiters who asked for the cached
+// path's semantics, and vice versa.
+type flightKey struct {
+	key     store.Key
+	nocache bool
+}
+
+// flight is one in-progress computation that concurrent identical
+// requests attach to instead of simulating again.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// New opens the store and builds the handler. Callers own the listener;
+// Server implements http.Handler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.NumCPU()
+	}
+	st, err := store.Open(cfg.StoreDir, cfg.StoreMemBytes)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		store:   st,
+		pool:    newWeighted(int64(cfg.Jobs)),
+		baseCtx: ctx,
+		stop:    cancel,
+		flights: make(map[flightKey]*flight),
+		jobs:    make(map[string]*job),
+		obsSink: &lockedCounting{},
+	}
+	s.mux = http.NewServeMux()
+	for _, r := range Routes() {
+		switch r {
+		case "GET /v1/healthz":
+			s.mux.HandleFunc(r, s.handleHealthz)
+		case "GET /v1/metrics":
+			s.mux.HandleFunc(r, s.handleMetrics)
+		case "GET /v1/workloads":
+			s.mux.HandleFunc(r, s.handleWorkloads)
+		case "POST /v1/simulate":
+			s.mux.HandleFunc(r, s.handleSimulate)
+		case "POST /v1/studies/{study}":
+			s.mux.HandleFunc(r, s.handleStudy)
+		case "GET /v1/jobs/{id}":
+			s.mux.HandleFunc(r, s.handleJob)
+		case "GET /v1/jobs/{id}/result":
+			s.mux.HandleFunc(r, s.handleJobResult)
+		case "DELETE /v1/jobs/{id}":
+			s.mux.HandleFunc(r, s.handleJobCancel)
+		default:
+			panic("server: unhandled route " + r)
+		}
+	}
+	return s, nil
+}
+
+// Routes lists every endpoint as "METHOD /pattern". The docs test checks
+// API.md documents each one; New panics if a route here has no handler.
+func Routes() []string {
+	return []string{
+		"GET /v1/healthz",
+		"GET /v1/metrics",
+		"GET /v1/workloads",
+		"POST /v1/simulate",
+		"POST /v1/studies/{study}",
+		"GET /v1/jobs/{id}",
+		"GET /v1/jobs/{id}/result",
+		"DELETE /v1/jobs/{id}",
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.counters.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels every running and queued job (their simulations stop
+// between scheduler steps) and releases the server's resources. Drain
+// HTTP traffic first (http.Server.Shutdown), then Close.
+func (s *Server) Close() {
+	s.stop()
+}
+
+// Store exposes the result store (the daemon's flags and tests use it).
+func (s *Server) Store() *store.Store { return s.store }
+
+// --- plumbing ---------------------------------------------------------
+
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errStatus(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// decodeBody strictly decodes an optional JSON body into v; an empty
+// body leaves v untouched.
+func decodeBody(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return &apiError{http.StatusBadRequest, "reading body: " + err.Error()}
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &apiError{http.StatusBadRequest, "bad request body: " + err.Error()}
+	}
+	return nil
+}
+
+// newRunner builds the per-flight experiment runner wired into the
+// daemon's counters, observability aggregation and cancellation.
+func (s *Server) newRunner(ctx context.Context, procs, jobs int) *experiments.Runner {
+	r := experiments.NewRunner()
+	r.Procs = procs
+	r.Jobs = jobs
+	r.Ctx = ctx
+	r.OnSimulate = func(string, config.Machine) { s.counters.simsExecuted.Add(1) }
+	r.SinkFactory = func(string, config.Machine) obs.Sink { return s.obsSink }
+	return r
+}
+
+// execute is the shared request path: store lookup, singleflight
+// collapse, slot acquisition, compute, store fill. weight is the number
+// of simulation slots the computation needs (1 for a single run, the
+// whole pool for a study).
+func (s *Server) execute(ctx context.Context, key store.Key, nocache bool, weight int64,
+	compute func(ctx context.Context) ([]byte, error)) (body []byte, cached bool, err error) {
+
+	if nocache {
+		s.counters.cacheBypassed.Add(1)
+	} else if b, ok := s.store.Get(key); ok {
+		s.counters.cacheHits.Add(1)
+		return b, true, nil
+	}
+
+	fk := flightKey{key: key, nocache: nocache}
+	s.flightsMu.Lock()
+	if fl, ok := s.flights[fk]; ok {
+		s.flightsMu.Unlock()
+		s.counters.flightsCollapsed.Add(1)
+		select {
+		case <-fl.done:
+			return fl.body, false, fl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[fk] = fl
+	s.flightsMu.Unlock()
+
+	s.counters.flightsExecuted.Add(1)
+	s.counters.activeFlights.Add(1)
+	fl.body, fl.err = func() ([]byte, error) {
+		if err := s.pool.Acquire(ctx, weight); err != nil {
+			return nil, err
+		}
+		defer s.pool.Release(weight)
+		if s.cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+			defer cancel()
+		}
+		return compute(ctx)
+	}()
+	s.counters.activeFlights.Add(-1)
+	if fl.err == nil && !nocache {
+		// A failed persist degrades to cache-miss behavior; the response
+		// is still correct.
+		_ = s.store.Put(key, fl.body)
+	}
+	s.flightsMu.Lock()
+	delete(s.flights, fk)
+	s.flightsMu.Unlock()
+	close(fl.done)
+	return fl.body, false, fl.err
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sim_slots": s.pool.Size()})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": apps.Names()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := &s.counters
+	m := Metrics{
+		Requests:         c.requests.Load(),
+		BadRequests:      c.badRequests.Load(),
+		SimsExecuted:     c.simsExecuted.Load(),
+		FlightsExecuted:  c.flightsExecuted.Load(),
+		FlightsCollapsed: c.flightsCollapsed.Load(),
+		CacheHits:        c.cacheHits.Load(),
+		CacheBypassed:    c.cacheBypassed.Load(),
+		JobsCreated:      c.jobsCreated.Load(),
+		JobsCancelled:    c.jobsCancelled.Load(),
+		ActiveFlights:    c.activeFlights.Load(),
+		SimSlots:         s.pool.Size(),
+		SimulatedExecNs:  c.simulatedExecNs.Load(),
+		SimulatedRuns:    c.simulatedRuns.Load(),
+		Store:            s.store.Stats(),
+		Obs:              s.obsSink.snapshot(),
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// SimEnvelope is the POST /v1/simulate response: the content address,
+// whether the store served it, and the result payload.
+type SimEnvelope struct {
+	Key    string          `json:"key"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+// SimResult is the cached payload of one simulation: the paper-facing
+// metrics of machine.Result in a stable JSON schema (documented in
+// API.md).
+type SimResult struct {
+	ExecTimeNs     int64    `json:"exec_time_ns"`
+	RNMr           float64  `json:"rnmr"`
+	Reads          int64    `json:"reads"`
+	ReadNodeMisses int64    `json:"read_node_misses"`
+	BusOccupancyNs [3]int64 `json:"bus_occupancy_ns"` // read, write, replace
+	WriteBacks     int64    `json:"write_backs"`
+	DirtyPurges    int64    `json:"dirty_purges"`
+	BusUtilization float64  `json:"bus_utilization"`
+	MaxDRAMUtil    float64  `json:"max_dram_utilization"`
+	Imbalance      float64  `json:"imbalance"`
+	Breakdown      struct {
+		Busy   float64 `json:"busy_ns"`
+		SLC    float64 `json:"slc_ns"`
+		AM     float64 `json:"am_ns"`
+		Remote float64 `json:"remote_ns"`
+		Sync   float64 `json:"sync_ns"`
+	} `json:"breakdown"`
+	ReadLatencyP50Ns int64      `json:"read_latency_p50_ns"`
+	ReadLatencyP99Ns int64      `json:"read_latency_p99_ns"`
+	Protocol         coma.Stats `json:"protocol"`
+}
+
+func newSimResult(res *machine.Result) SimResult {
+	out := SimResult{
+		ExecTimeNs:       int64(res.ExecTime),
+		RNMr:             res.RNMr(),
+		Reads:            res.Reads,
+		ReadNodeMisses:   res.ReadNodeMisses,
+		WriteBacks:       res.WriteBacks,
+		DirtyPurges:      res.DirtyPurges,
+		BusUtilization:   res.BusUtilization,
+		MaxDRAMUtil:      res.MaxDRAMUtilization(),
+		Imbalance:        res.Imbalance(),
+		ReadLatencyP50Ns: res.ReadLatency.Quantile(0.5),
+		ReadLatencyP99Ns: res.ReadLatency.Quantile(0.99),
+		Protocol:         res.Protocol,
+	}
+	for i, v := range res.BusOccupancy {
+		out.BusOccupancyNs[i] = int64(v)
+	}
+	b := res.Breakdown()
+	out.Breakdown.Busy = b.Busy
+	out.Breakdown.SLC = b.SLC
+	out.Breakdown.AM = b.AM
+	out.Breakdown.Remote = b.Remote
+	out.Breakdown.Sync = b.Sync
+	return out
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.counters.badRequests.Add(1)
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	cfg, err := req.normalize()
+	if err != nil {
+		s.counters.badRequests.Add(1)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	key := req.key()
+	nocache := r.URL.Query().Get("nocache") == "1"
+	compute := func(ctx context.Context) ([]byte, error) {
+		runner := s.newRunner(ctx, req.Procs, 1)
+		res, err := runner.Run(req.App, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.counters.simulatedRuns.Add(1)
+		s.counters.simulatedExecNs.Add(int64(res.ExecTime))
+		return json.Marshal(newSimResult(res))
+	}
+	if r.URL.Query().Get("async") == "1" {
+		s.respondAsync(w, key, nocache, 1, "application/json", compute)
+		return
+	}
+	body, cached, err := s.execute(r.Context(), key, nocache, 1, compute)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimEnvelope{Key: key.String(), Cached: cached, Result: body})
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	study := r.PathValue("study")
+	valid := study == "sweep"
+	if _, ok := studies[study]; ok {
+		valid = true
+	}
+	if !valid {
+		s.counters.badRequests.Add(1)
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown study %q (known: %v)", study, StudyNames()))
+		return
+	}
+	var req StudyRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.counters.badRequests.Add(1)
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	spec, err := req.normalize(study)
+	if err != nil {
+		s.counters.badRequests.Add(1)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	key := req.key(study)
+	nocache := r.URL.Query().Get("nocache") == "1"
+	compute := func(ctx context.Context) ([]byte, error) {
+		runner := s.newRunner(ctx, req.Procs, s.cfg.Jobs)
+		var buf bytes.Buffer
+		if study == "sweep" {
+			rows, err := runner.Sweep(spec)
+			if err != nil {
+				return nil, err
+			}
+			if err := experiments.WriteSweepCSV(&buf, rows); err != nil {
+				return nil, err
+			}
+		} else if err := experiments.RenderArtifact(&buf, runner, studies[study], req.Chart); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	if r.URL.Query().Get("async") == "1" {
+		s.respondAsync(w, key, nocache, s.pool.Size(), "text/plain; charset=utf-8", compute)
+		return
+	}
+	body, cached, err := s.execute(r.Context(), key, nocache, s.pool.Size(), compute)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeStudy(w, key, cached, body)
+}
+
+func writeStudy(w http.ResponseWriter, key store.Key, cached bool, body []byte) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Comasrv-Key", key.String())
+	w.Header().Set("X-Comasrv-Cached", fmt.Sprintf("%t", cached))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// respondAsync enqueues the computation as a job and answers 202 with
+// the job's view.
+func (s *Server) respondAsync(w http.ResponseWriter, key store.Key, nocache bool, weight int64,
+	contentType string, compute func(ctx context.Context) ([]byte, error)) {
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := s.newJob(key, cancel)
+	s.counters.jobsCreated.Add(1)
+	go func() {
+		defer cancel()
+		if !j.setRunning() {
+			return // cancelled while queued
+		}
+		body, cached, err := s.execute(ctx, key, nocache, weight, compute)
+		j.finish(body, contentType, cached, err)
+	}()
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	status, body, contentType, cached := j.status, j.body, j.contentType, j.cached
+	key := j.key
+	j.mu.Unlock()
+	if status != JobDone {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", j.id, status))
+		return
+	}
+	if contentType == "application/json" {
+		writeJSON(w, http.StatusOK, SimEnvelope{Key: key.String(), Cached: cached, Result: body})
+		return
+	}
+	writeStudy(w, key, cached, body)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.markCancelled()
+	j.cancel()
+	s.counters.jobsCancelled.Add(1)
+	writeJSON(w, http.StatusOK, j.view())
+}

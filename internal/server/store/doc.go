@@ -1,0 +1,9 @@
+// Package store is comasrv's content-addressed result store: simulation
+// responses keyed by the SHA-256 of their canonicalized request, held in
+// an in-memory LRU with a byte budget in front of a persistent on-disk
+// layer. Simulations are pure functions of (machine config, workload,
+// engine version), so a key either misses or yields exactly the bytes a
+// fresh run would produce; on-disk entries carry a checksummed envelope
+// and corrupt files are deleted and recomputed rather than served. See
+// API.md ("Cache semantics") for the client-visible behavior.
+package store

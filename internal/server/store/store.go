@@ -1,0 +1,272 @@
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key is the content address of a canonicalized request: the SHA-256 of
+// its canonical encoding. Two requests that simulate the same thing hash
+// to the same key, so the store deduplicates results across clients and
+// across daemon restarts.
+type Key [sha256.Size]byte
+
+// KeyOf hashes a canonical request encoding.
+func KeyOf(canonical []byte) Key { return sha256.Sum256(canonical) }
+
+// String returns the lowercase hex form used in filenames and API
+// responses.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes the hex form.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("store: bad key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// magic is the result-file header; bump the version when the envelope
+// changes. The envelope is: magic, newline, hex SHA-256 of the payload,
+// newline, payload. The checksum covers the payload only — the key
+// already names the request, the checksum guards the response bytes
+// against torn writes and disk rot.
+const magic = "comasrv-result-v1"
+
+// Stats is a snapshot of the store's hit/miss counters since start.
+type Stats struct {
+	MemHits   int64 `json:"mem_hits"`
+	DiskHits  int64 `json:"disk_hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Corrupt   int64 `json:"corrupt"`
+	MemBytes  int64 `json:"mem_bytes"`
+	MemItems  int   `json:"mem_items"`
+	DiskItems int64 `json:"disk_items"`
+}
+
+// Store is a two-level content-addressed result cache: an in-memory LRU
+// with a byte budget in front of a persistent on-disk layer. It is safe
+// for concurrent use. A nil directory disables the disk layer (tests,
+// --store= to run memory-only).
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu       sync.Mutex
+	mem      map[Key]*list.Element
+	order    *list.List // front = most recently used
+	memBytes int64
+	stats    Stats
+}
+
+type memEntry struct {
+	key  Key
+	data []byte
+}
+
+// DefaultMemBytes is the default in-memory LRU budget (64 MiB — study
+// renderings are a few kilobytes, so this holds tens of thousands of
+// results).
+const DefaultMemBytes = 64 << 20
+
+// Open returns a store rooted at dir (created if missing; empty string
+// for memory-only) with the given LRU byte budget (0 selects
+// DefaultMemBytes).
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMemBytes
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		mem:      make(map[Key]*list.Element),
+		order:    list.New(),
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// path shards result files by the first key byte so directories stay
+// small: <dir>/ab/abcdef....
+func (s *Store) path(k Key) string {
+	hexKey := k.String()
+	return filepath.Join(s.dir, hexKey[:2], hexKey)
+}
+
+// Get returns the cached result for k, consulting the LRU first and the
+// disk second. A disk hit is promoted into the LRU. Corrupt disk entries
+// (bad envelope or checksum mismatch) are deleted and reported as
+// misses, so a damaged store heals by recomputation instead of serving
+// bad bytes.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.mem[k]; ok {
+		s.order.MoveToFront(el)
+		data := el.Value.(*memEntry).data
+		s.stats.MemHits++
+		s.mu.Unlock()
+		return data, true
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	data, err := decodeEnvelope(raw)
+	if err != nil {
+		os.Remove(s.path(k))
+		s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
+		return nil, false
+	}
+	s.insertMem(k, data)
+	s.count(func(st *Stats) { st.DiskHits++ })
+	return data, true
+}
+
+// Put stores a result under k in both layers. The disk write is atomic
+// (temp file + rename), so a crashed daemon never leaves a half-written
+// result that a later Get could trust.
+func (s *Store) Put(k Key, data []byte) error {
+	s.insertMem(k, data)
+	s.count(func(st *Stats) { st.Puts++ })
+	if s.dir == "" {
+		return nil
+	}
+	path := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	_, werr := fmt.Fprintf(tmp, "%s\n%s\n", magic, hex.EncodeToString(sum[:]))
+	if werr == nil {
+		_, werr = tmp.Write(data)
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// decodeEnvelope validates a result file and returns its payload.
+func decodeEnvelope(raw []byte) ([]byte, error) {
+	rest, ok := cutLine(raw, magic)
+	if !ok {
+		return nil, fmt.Errorf("store: bad magic")
+	}
+	if len(rest) < 2*sha256.Size+1 {
+		return nil, fmt.Errorf("store: truncated header")
+	}
+	wantHex, payload := string(rest[:2*sha256.Size]), rest[2*sha256.Size:]
+	if payload[0] != '\n' {
+		return nil, fmt.Errorf("store: malformed header")
+	}
+	payload = payload[1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != wantHex {
+		return nil, fmt.Errorf("store: checksum mismatch")
+	}
+	return payload, nil
+}
+
+func cutLine(b []byte, line string) ([]byte, bool) {
+	n := len(line)
+	if len(b) <= n || string(b[:n]) != line || b[n] != '\n' {
+		return nil, false
+	}
+	return b[n+1:], true
+}
+
+// insertMem adds (or refreshes) an LRU entry and evicts from the back
+// until the byte budget holds. An entry larger than the whole budget is
+// simply not cached in memory.
+func (s *Store) insertMem(k Key, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.mem[k]; ok {
+		e := el.Value.(*memEntry)
+		s.memBytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		s.order.MoveToFront(el)
+	} else if int64(len(data)) <= s.maxBytes {
+		s.mem[k] = s.order.PushFront(&memEntry{key: k, data: data})
+		s.memBytes += int64(len(data))
+	}
+	for s.memBytes > s.maxBytes && s.order.Len() > 0 {
+		back := s.order.Back()
+		e := back.Value.(*memEntry)
+		s.order.Remove(back)
+		delete(s.mem, e.key)
+		s.memBytes -= int64(len(e.data))
+	}
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Stats snapshots the counters, including a walk-free disk item count
+// (-1 when the disk layer is disabled).
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	st.MemBytes = s.memBytes
+	st.MemItems = s.order.Len()
+	s.mu.Unlock()
+	st.DiskItems = s.countDisk()
+	return st
+}
+
+func (s *Store) countDisk() int64 {
+	if s.dir == "" {
+		return -1
+	}
+	var n int64
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return -1
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		n += int64(len(files))
+	}
+	return n
+}

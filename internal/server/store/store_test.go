@@ -1,0 +1,221 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	k := KeyOf([]byte("canonical request"))
+	parsed, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != k {
+		t.Fatalf("ParseKey(%q) = %v, want %v", k.String(), parsed, k)
+	}
+	if _, err := ParseKey("not-hex"); err == nil {
+		t.Fatal("ParseKey accepted garbage")
+	}
+	if _, err := ParseKey("abcd"); err == nil {
+		t.Fatal("ParseKey accepted a short key")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf([]byte("req"))
+	want := []byte("the result payload")
+	if _, ok := s.Get(k); ok {
+		t.Fatal("Get before Put reported a hit")
+	}
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.MemHits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 put, 1 mem hit, 1 miss", st)
+	}
+}
+
+// A restart (new Store over the same directory) must serve previously
+// persisted results from disk, then promote them into memory.
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf([]byte("req"))
+	want := []byte("survives restarts")
+	if err := s1.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("after reopen: Get = %q, %v; want %q, true", got, ok, want)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit", st)
+	}
+	// Second Get comes from the promoted memory entry.
+	if _, ok := s2.Get(k); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats = %+v, want 1 mem hit after promotion", st)
+	}
+}
+
+// Corrupt disk entries are deleted and reported as misses; a subsequent
+// Put..Get heals the slot.
+func TestCorruptEntryHeals(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf([]byte("req"))
+	if err := s.Put(k, []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte on disk, then reopen so the memory layer can't
+	// mask the damage.
+	path := s.path(k)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(k); ok {
+		t.Fatal("Get served a corrupt entry")
+	}
+	st := s2.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt, 1 miss", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file not deleted: %v", err)
+	}
+
+	want := []byte("recomputed payload")
+	if err := s2.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("after heal: Get = %q, %v; want %q, true", got, ok, want)
+	}
+}
+
+// Truncated or mislabeled envelopes are corrupt too, not crashes.
+func TestMalformedEnvelopes(t *testing.T) {
+	for _, raw := range []string{
+		"",
+		"wrong-magic\nabc\npayload",
+		magic,                         // no newline
+		magic + "\nshort\n",           // truncated checksum
+		magic + "\n" + h64() + "data", // missing payload separator
+	} {
+		if _, err := decodeEnvelope([]byte(raw)); err == nil {
+			t.Errorf("decodeEnvelope(%q) accepted a malformed envelope", raw)
+		}
+	}
+}
+
+func h64() string {
+	b := make([]byte, 64)
+	for i := range b {
+		b[i] = 'a'
+	}
+	return string(b)
+}
+
+// The LRU evicts least-recently-used entries once the byte budget is
+// exceeded, but evicted entries remain fetchable from disk.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 64) // budget: two 30-byte entries, not three
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) []byte { return bytes.Repeat([]byte{byte('a' + i)}, 30) }
+	keys := make([]Key, 3)
+	for i := range keys {
+		keys[i] = KeyOf([]byte(fmt.Sprintf("req-%d", i)))
+		if err := s.Put(keys[i], payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.MemItems != 2 || st.MemBytes != 60 {
+		t.Fatalf("stats = %+v, want 2 items / 60 bytes in memory", st)
+	}
+	// keys[0] was evicted; it must still come back from disk.
+	got, ok := s.Get(keys[0])
+	if !ok || !bytes.Equal(got, payload(0)) {
+		t.Fatalf("evicted entry lost: %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want the evicted entry served from disk", st)
+	}
+}
+
+// An entry larger than the whole budget skips the memory layer entirely.
+func TestOversizedEntrySkipsMemory(t *testing.T) {
+	s, err := Open(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf([]byte("big"))
+	if err := s.Put(k, bytes.Repeat([]byte{'x'}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.MemItems != 0 {
+		t.Fatalf("oversized entry cached in memory: %+v", st)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("oversized entry not served from disk")
+	}
+}
+
+// Memory-only mode (empty dir) works and reports DiskItems = -1.
+func TestMemoryOnly(t *testing.T) {
+	s, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf([]byte("req"))
+	if err := s.Put(k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("memory-only Get missed")
+	}
+	if st := s.Stats(); st.DiskItems != -1 {
+		t.Fatalf("stats = %+v, want DiskItems = -1 without a disk layer", st)
+	}
+}

@@ -1,6 +1,3 @@
-// Package stats provides small result-presentation helpers shared by the
-// experiment drivers and command-line tools: aligned text tables, bar
-// rendering and relative-metric math.
 package stats
 
 import (

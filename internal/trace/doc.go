@@ -1,0 +1,6 @@
+// Package trace defines the per-processor memory-reference streams that
+// drive the timing simulator — the equivalent of the data-reference stream
+// SimICS fed the memory-system model in the paper. Instruction fetches are
+// not represented (the paper assumes they always hit); instruction
+// execution time appears as explicit Compute records.
+package trace
