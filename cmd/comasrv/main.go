@@ -7,7 +7,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -18,6 +19,18 @@ import (
 	"repro/internal/server"
 )
 
+// newLogger builds the daemon's structured logger from the -log flag.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (text or json)", format)
+	}
+}
+
 func main() {
 	flags.SetUsage("comasrv", "serve the simulation engine as a JSON HTTP API")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
@@ -26,13 +39,18 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory result cache budget in bytes (0 = 64 MiB)")
 	timeout := flag.Duration("timeout", 0, "per-request simulation timeout (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+	logFormat := flag.String("log", "text", "log handler: text or json (structured, one line per request)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	flags.Check("comasrv", err)
 
 	srv, err := server.New(server.Config{
 		Jobs:          *jobs,
 		StoreDir:      *storeDir,
 		StoreMemBytes: *cacheBytes,
 		Timeout:       *timeout,
+		Logger:        logger,
 	})
 	flags.Check("comasrv", err)
 	defer srv.Close()
@@ -44,7 +62,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("comasrv: listening on %s (jobs=%d store=%q)", *addr, *jobs, *storeDir)
+		logger.Info("listening", "addr", *addr, "jobs", *jobs, "store", *storeDir)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -52,11 +70,11 @@ func main() {
 	case err := <-errc:
 		flags.Check("comasrv", err)
 	case <-ctx.Done():
-		log.Printf("comasrv: shutting down (draining for up to %v)", *drain)
+		logger.Info("shutting down", "drain", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("comasrv: drain incomplete: %v", err)
+			logger.Warn("drain incomplete", "err", err)
 		}
 		srv.Close() // cancel any still-running jobs
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

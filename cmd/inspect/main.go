@@ -7,6 +7,8 @@
 //	go run ./cmd/inspect -apps fft,radix -ppn 1,4 -mp 50%,87% -what util
 //	go run ./cmd/inspect -what transitions -format csv
 //	go run ./cmd/inspect -apps fft -events fft.jsonl   # raw event trace
+//	go run ./cmd/inspect -timeline -window 100000      # windowed sparklines
+//	go run ./cmd/inspect -timeline -format csv         # raw per-window CSV
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/config/flags"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -36,6 +39,8 @@ func main() {
 	bus := flag.Float64("bus", 1, "bus bandwidth multiplier")
 	what := flag.String("what", "all", "what to dump: util, transitions, protocol or all")
 	format := flag.String("format", "text", "output format: text or csv")
+	timeline := flag.Bool("timeline", false, "sample windowed counters and dump the per-run timeline (sparklines, or raw windows with -format csv)")
+	window := flag.Int64("window", 100000, "sampling window width in simulated ns (with -timeline)")
 	events := flag.String("events", "", "write a JSONL event trace of the first run to this file")
 	outPath := flags.Output("")
 	jobs := flags.Jobs()
@@ -55,6 +60,12 @@ func main() {
 	if *verbose {
 		r.Progress = os.Stderr
 	}
+	if *timeline {
+		if *window < 1 {
+			check(fmt.Errorf("-window must be positive, got %d", *window))
+		}
+		r.SampleWindow = engine.Time(*window)
+	}
 
 	rows, err := r.Inspect(appNames, cfgs)
 	check(err)
@@ -66,7 +77,11 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	check(dump(out, rows, *what, *format))
+	w := *what
+	if *timeline {
+		w = "timeline"
+	}
+	check(dump(out, rows, w, *format))
 
 	if *events != "" {
 		check(dumpEvents(r, appNames[0], cfgs[0], *events))
@@ -108,6 +123,7 @@ func dump(w io.Writer, rows []experiments.InspectRow, what, format string) error
 		"util":        {experiments.WriteUtilization, experiments.WriteUtilizationCSV},
 		"transitions": {experiments.WriteTransitions, experiments.WriteTransitionsCSV},
 		"protocol":    {experiments.WriteProtocol, experiments.WriteProtocolCSV},
+		"timeline":    {experiments.WriteTimeline, experiments.WriteTimelineCSV},
 	}
 	order := []string{"util", "transitions", "protocol"}
 	if what != "all" {

@@ -5,9 +5,14 @@ package repro_test
 //   - every internal package carries a doc.go with a package comment;
 //   - relative links in the markdown docs resolve to real files;
 //   - API.md documents every route the server actually registers, and
-//     its CLI appendix names every command in cmd/.
+//     its CLI appendix names every command in cmd/;
+//   - the /metrics Prometheus exposition a live server produces is
+//     well-formed (HELP/TYPE headers, monotonic histogram buckets).
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -116,6 +121,46 @@ func TestAPIDocCoversEveryRoute(t *testing.T) {
 	for _, study := range server.StudyNames() {
 		if !strings.Contains(api, study) {
 			t.Errorf("API.md does not mention study %q", study)
+		}
+	}
+}
+
+// TestMetricsExpositionWellFormed boots an in-process daemon
+// (memory-only store), scrapes GET /metrics and lints the Prometheus
+// text exposition: every sample needs HELP and TYPE headers, values must
+// parse, histogram buckets must be cumulative and end at +Inf. The same
+// linter backs the server's own exposition tests; running it from the
+// docs job keeps the documented scrape contract honest.
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	srv, err := server.New(server.Config{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	if err := server.LintExposition(body); err != nil {
+		t.Fatalf("exposition lint: %v", err)
+	}
+	for _, want := range []string{
+		"comasrv_requests_total",
+		"comasrv_request_duration_seconds_bucket",
+		"comasrv_queue_wait_seconds_bucket",
+		"comasrv_build_info",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
 		}
 	}
 }

@@ -19,6 +19,8 @@ func renderAll(t *testing.T, rows []InspectRow) string {
 		func(w *strings.Builder) error { return WriteTransitionsCSV(w, rows) },
 		func(w *strings.Builder) error { return WriteProtocol(w, rows) },
 		func(w *strings.Builder) error { return WriteProtocolCSV(w, rows) },
+		func(w *strings.Builder) error { return WriteTimeline(w, rows) },
+		func(w *strings.Builder) error { return WriteTimelineCSV(w, rows) },
 	} {
 		if err := render(&sb); err != nil {
 			t.Fatal(err)
@@ -42,6 +44,9 @@ func TestInspectJobsInvariant(t *testing.T) {
 		r := NewRunner()
 		r.Procs = 8
 		r.Jobs = jobs
+		// Sampling on, so the timeline renderers are part of the
+		// byte-identity contract too.
+		r.SampleWindow = 100000
 		rows, err := r.Inspect(apps, cfgs)
 		if err != nil {
 			t.Fatal(err)
@@ -61,7 +66,7 @@ func TestInspectJobsInvariant(t *testing.T) {
 		t.Fatal("inspect output differs between -jobs 1 and -jobs 8")
 	}
 	// The output actually contains the advertised sections.
-	for _, want := range []string{"resource", "from\\to", "app,cfg,counter,value", "bus", "dram0"} {
+	for _, want := range []string{"resource", "from\\to", "app,cfg,counter,value", "bus", "dram0", "bus util", "app,cfg,window,start_ns"} {
 		if !strings.Contains(serial, want) {
 			t.Errorf("output missing %q", want)
 		}

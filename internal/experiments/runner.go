@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/config"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -42,6 +43,18 @@ type Runner struct {
 	// worker goroutines, so it — and the sinks it returns, if shared —
 	// must be safe for concurrent use.
 	SinkFactory func(app string, cfg config.Machine) obs.Sink
+	// SampleWindow, when positive, enables windowed counter sampling on
+	// every machine this runner builds: results carry a Timeline of
+	// per-window deltas (see obs.Sampler). Sampling is deterministic —
+	// it observes only simulated time — so memoized results and -jobs
+	// invariance are unaffected.
+	SampleWindow engine.Time
+	// WrapSimulate, when non-nil, brackets each simulation actually
+	// executed (memoized hits are not bracketed): it is called at start
+	// and the closure it returns is called with the simulation's error
+	// when it finishes. The seam comasrv's span tracing hangs off.
+	// Called from worker goroutines; must be safe for concurrent use.
+	WrapSimulate func(app string, cfg config.Machine) func(err error)
 
 	mu      sync.Mutex
 	traces  map[string]*traceCell
@@ -152,13 +165,17 @@ func (r *Runner) Run(app string, cfg config.Machine) (*machine.Result, error) {
 }
 
 // simulate executes one run (no caching; Run wraps it in a cell).
-func (r *Runner) simulate(app string, cfg config.Machine) (*machine.Result, error) {
+func (r *Runner) simulate(app string, cfg config.Machine) (res *machine.Result, err error) {
 	tr, err := r.Trace(app)
 	if err != nil {
 		return nil, err
 	}
 	if r.OnSimulate != nil {
 		r.OnSimulate(app, cfg)
+	}
+	if r.WrapSimulate != nil {
+		finish := r.WrapSimulate(app, cfg)
+		defer func() { finish(err) }()
 	}
 	m, err := machine.New(cfg.Params(tr.WorkingSet))
 	if err != nil {
@@ -167,7 +184,10 @@ func (r *Runner) simulate(app string, cfg config.Machine) (*machine.Result, erro
 	if r.SinkFactory != nil {
 		m.SetSink(r.SinkFactory(app, cfg))
 	}
-	res, err := m.RunContext(r.ctx(), tr)
+	if r.SampleWindow > 0 {
+		m.EnableSampling(r.SampleWindow)
+	}
+	res, err = m.RunContext(r.ctx(), tr)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", app, err)
 	}

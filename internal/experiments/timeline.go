@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Timeline rendering: the per-window counter series (obs.Timeline) as
+// unicode sparklines for eyeballs and as flat CSV for plotting. Both
+// renderers are pure functions of the Timeline, so their output is
+// byte-identical for any -jobs value, same as every other renderer.
+
+// sparkCells is the maximum number of glyphs a sparkline spans; longer
+// timelines are max-pooled down so bursts survive the compression.
+const sparkCells = 64
+
+// sparkLevels are the eight block glyphs a sparkline quantizes into.
+var sparkLevels = [8]rune{'▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// downsample max-pools vals into at most sparkCells buckets: bucket j
+// covers the half-open window range [j*n/cells, (j+1)*n/cells).
+func downsample(vals []float64) []float64 {
+	n := len(vals)
+	if n <= sparkCells {
+		return vals
+	}
+	out := make([]float64, sparkCells)
+	for j := 0; j < sparkCells; j++ {
+		lo, hi := j*n/sparkCells, (j+1)*n/sparkCells
+		max := vals[lo]
+		for _, v := range vals[lo+1 : hi] {
+			if v > max {
+				max = v
+			}
+		}
+		out[j] = max
+	}
+	return out
+}
+
+// sparkline renders vals as block glyphs scaled to their maximum. A zero
+// sample renders as the lowest block, so quiet phases stay visible as a
+// baseline rather than gaps.
+func sparkline(vals []float64) string {
+	vals = downsample(vals)
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		lvl := 0
+		if max > 0 && v > 0 {
+			lvl = int(v * 7 / max)
+			if lvl > 7 {
+				lvl = 7
+			}
+			if lvl < 1 {
+				lvl = 1
+			}
+		}
+		b.WriteRune(sparkLevels[lvl])
+	}
+	return b.String()
+}
+
+// timelineSeries flattens a Timeline into the labelled float series the
+// text renderer draws, in a fixed order.
+func timelineSeries(tl *obs.Timeline) []struct {
+	name string
+	vals []float64
+} {
+	n := tl.Windows()
+	f := func(s []int64) []float64 {
+		out := make([]float64, n)
+		for i, v := range s {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	busUtil := make([]float64, n)
+	trans := make([]float64, n)
+	for i := 0; i < n; i++ {
+		busUtil[i] = tl.BusUtilization(i)
+		trans[i] = float64(tl.TransitionTotal(i))
+	}
+	return []struct {
+		name string
+		vals []float64
+	}{
+		{"bus util", busUtil},
+		{"reads", f(tl.Reads)},
+		{"writes", f(tl.Writes)},
+		{"slc misses", f(tl.SLCMisses)},
+		{"node misses", f(tl.NodeMisses)},
+		{"transitions", trans},
+		{"wb stall ns", f(tl.WBStallNs)},
+		{"sync arrivals", f(tl.SyncArrivals)},
+		{"replacements", f(tl.Replacements)},
+	}
+}
+
+// seriesMax returns the maximum of a series (0 for empty).
+func seriesMax(vals []float64) float64 {
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// WriteTimeline renders each run's windowed counter series as labelled
+// sparklines, one block per run. Rows ran without sampling are reported
+// as such rather than skipped silently.
+func WriteTimeline(w io.Writer, rows []InspectRow) error {
+	for _, row := range rows {
+		tl := row.Res.Timeline
+		if tl == nil {
+			if _, err := fmt.Fprintf(w, "%s  %s  (no timeline: sampling disabled)\n\n", row.App, row.Label); err != nil {
+				return err
+			}
+			continue
+		}
+		_, err := fmt.Fprintf(w, "%s  %s  exec=%v  windows=%d x %dns\n",
+			row.App, row.Label, row.Res.ExecTime, tl.Windows(), tl.WindowNs)
+		if err != nil {
+			return err
+		}
+		for _, s := range timelineSeries(tl) {
+			if _, err := fmt.Fprintf(w, "  %-14s %s  max=%g\n", s.name, sparkline(s.vals), seriesMax(s.vals)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTimelineCSV renders every window of every run as one flat CSV
+// row, raw (no downsampling).
+func WriteTimelineCSV(w io.Writer, rows []InspectRow) error {
+	_, err := fmt.Fprintln(w, "app,cfg,window,start_ns,bus_read_ns,bus_write_ns,bus_replace_ns,bus_util,"+
+		"reads,writes,slc_misses,node_misses,transitions,wb_stall_ns,sync_arrivals,replacements")
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		tl := row.Res.Timeline
+		if tl == nil {
+			continue
+		}
+		for i := 0; i < tl.Windows(); i++ {
+			_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				row.App, row.Label, i, tl.StartNs(i),
+				tl.BusNs[0][i], tl.BusNs[1][i], tl.BusNs[2][i], tl.BusUtilization(i),
+				tl.Reads[i], tl.Writes[i], tl.SLCMisses[i], tl.NodeMisses[i],
+				tl.TransitionTotal(i), tl.WBStallNs[i], tl.SyncArrivals[i], tl.Replacements[i])
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -24,6 +24,37 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got := steadyStateAllocs(m); got != 0 {
+		t.Fatalf("steady-state references allocate %.2f times per ref, want 0", got)
+	}
+}
+
+// TestSamplingOffZeroAlloc pins the sampling feature's disabled path: a
+// machine that never called EnableSampling takes only the nil-sampler
+// branch checks in doRead/doWrite/step, which must not allocate — the
+// windowed-sampler companion to TestDisabledSinkZeroAlloc (sinks).
+func TestSamplingOffZeroAlloc(t *testing.T) {
+	p := DefaultParams(8, 2, 32*1024, 256*1024)
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the sink/sampler rewiring path with everything disabled, the
+	// configuration every measured run uses.
+	m.SetSink(nil)
+	if m.sampler != nil {
+		t.Fatal("sampler unexpectedly enabled")
+	}
+	if got := steadyStateAllocs(m); got != 0 {
+		t.Fatalf("sampling-off references allocate %.2f times per ref, want 0", got)
+	}
+}
+
+// steadyStateAllocs warms the machine's caches, directory and attraction
+// memories, then measures heap allocations per reference over a
+// precomputed sequence (the generator itself must not count against the
+// machine).
+func steadyStateAllocs(m *Machine) float64 {
 	// Measure from the start (internal switch; no trace is involved).
 	m.beginMeasure(0)
 
@@ -44,8 +75,7 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 			m.doRead(q, addr())
 		}
 	}
-	// Steady state: a precomputed reference sequence (the generator itself
-	// must not count against the machine).
+	// Steady state: a precomputed reference sequence.
 	type ref struct {
 		proc  int
 		addr  addrspace.Addr
@@ -56,7 +86,7 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		seq[i] = ref{proc: rng.Intn(len(m.procs)), addr: addr(), write: rng.Intn(3) == 0}
 	}
 	i := 0
-	allocs := testing.AllocsPerRun(5000, func() {
+	return testing.AllocsPerRun(5000, func() {
 		r := seq[i%len(seq)]
 		i++
 		q := m.procs[r.proc]
@@ -66,7 +96,4 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 			m.doRead(q, r.addr)
 		}
 	})
-	if allocs != 0 {
-		t.Fatalf("steady-state references allocate %.2f times per ref, want 0", allocs)
-	}
 }

@@ -124,8 +124,12 @@ type Machine struct {
 	// rec forwards instrumentation events to an optional sink; now tracks
 	// the clock of the processor currently stepping, so protocol-level
 	// events (which have no clock of their own) can be timestamped.
-	rec obs.Recorder
-	now engine.Time
+	// userSink and sampler are the two instrumentation consumers rec fans
+	// out to (rewire composes them).
+	rec      obs.Recorder
+	userSink obs.Sink
+	sampler  *obs.Sampler
+	now      engine.Time
 
 	measuring      bool
 	reads          int64
@@ -219,6 +223,33 @@ func (m *Machine) Protocol() *coma.Protocol { return m.prot }
 // replacements). A nil sink disables instrumentation; the disabled path
 // costs nothing. Install before Run.
 func (m *Machine) SetSink(s obs.Sink) {
+	m.userSink = s
+	m.rewire()
+}
+
+// EnableSampling attaches a windowed sampler: the run's counter deltas
+// are binned into windows of the given simulated width and surfaced as
+// Result.Timeline. Sampling is a pure observer (the timing model is
+// untouched) and composes with SetSink in either order. Enable before
+// Run; the default (no sampler) costs one predictable branch per
+// reference.
+func (m *Machine) EnableSampling(window engine.Time) {
+	m.sampler = obs.NewSampler(int64(window))
+	m.rewire()
+}
+
+// rewire recomputes the effective event sink from the installed user
+// sink and sampler, and points the protocol's emission path at it.
+func (m *Machine) rewire() {
+	var s obs.Sink
+	switch {
+	case m.sampler != nil && m.userSink != nil:
+		s = obs.Tee{m.sampler, m.userSink}
+	case m.sampler != nil:
+		s = m.sampler
+	default:
+		s = m.userSink
+	}
 	m.rec = obs.NewRecorder(s)
 	if m.prot != nil {
 		m.prot.SetSink(s)
@@ -339,6 +370,12 @@ func refAt(p *proc) string {
 // step executes one trace record for p.
 func (m *Machine) step(p *proc) {
 	m.now = p.t
+	if m.sampler != nil {
+		// Scheduler time is non-decreasing (the heap steps the global
+		// (clock, id) minimum), so this closes every window the clock
+		// passed.
+		m.sampler.Advance(int64(p.t))
+	}
 	if p.pc >= p.refs.Len() {
 		// Released from a final barrier with nothing left to run.
 		m.finish(p)
@@ -393,6 +430,9 @@ func (m *Machine) doRead(p *proc, a addrspace.Addr) {
 		p.st.Reads++
 		m.reads++
 	}
+	if m.sampler != nil {
+		m.sampler.NoteAccess(false)
+	}
 	l := addrspace.LineOf(a)
 	if _, ok := p.l1.Touch(l); ok {
 		if m.measuring {
@@ -412,6 +452,9 @@ func (m *Machine) doRead(p *proc, a addrspace.Addr) {
 		return
 	}
 	eff := m.mem.Read(p.node, l)
+	if m.sampler != nil {
+		m.sampler.NoteMiss(!eff.Hit && !eff.Cold)
+	}
 	done, class := m.charge(p.node, p.slcRes, p.t, eff)
 	p.t = done
 	p.l1.Insert(l, cacheValid)
@@ -480,6 +523,9 @@ func (m *Machine) doWrite(p *proc, a addrspace.Addr) {
 	if m.measuring {
 		p.st.Writes++
 	}
+	if m.sampler != nil {
+		m.sampler.NoteAccess(true)
+	}
 	l := addrspace.LineOf(a)
 	p.l1.Touch(l) // L1 is write-through into the SLC
 	if st, ok := p.slc.Touch(l); ok && st == cacheDirty {
@@ -510,6 +556,9 @@ func (m *Machine) doWrite(p *proc, a addrspace.Addr) {
 	// Compute this drain's service eagerly (drains are FIFO).
 	start := engine.Max(p.t, p.wbLast)
 	eff := m.mem.Write(p.node, l)
+	if m.sampler != nil {
+		m.sampler.NoteMiss(!eff.Hit && !eff.Cold)
+	}
 	done, class := m.charge(p.node, p.slcRes, start, eff)
 	p.wbLast = done
 	slot := p.wbHead + p.wbLen
@@ -848,6 +897,9 @@ func (m *Machine) result() *Result {
 		DirtyPurges:    m.dirtyPurges,
 		ReadLatency:    m.latency,
 		Protocol:       m.mem.Stats(),
+	}
+	if m.sampler != nil {
+		res.Timeline = m.sampler.Timeline()
 	}
 	res.Resources = append(res.Resources, resUse(m.bus))
 	for _, nr := range m.nodes {

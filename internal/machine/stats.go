@@ -3,6 +3,7 @@ package machine
 import (
 	"repro/internal/coma"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // StallClass attributes processor stall time to the level of the memory
@@ -82,6 +83,10 @@ type Result struct {
 	Resources []ResUse
 	// Protocol is the protocol-level counter snapshot.
 	Protocol coma.Stats
+	// Timeline is the windowed counter timeline of the whole run (not
+	// just the measured section); nil unless sampling was enabled with
+	// Machine.EnableSampling.
+	Timeline *obs.Timeline
 }
 
 // ResUse is one resource's measured-section usage: occupancy, demand and

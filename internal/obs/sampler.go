@@ -1,0 +1,198 @@
+package obs
+
+// Windowed sampling: the aggregate counters (Counting, the machine's
+// miss counters) explain a whole run; the Sampler explains its *phases*.
+// It bins counter deltas into fixed-width windows of simulated time, so
+// barrier waves, FFT transposes and Radix permutation bursts show up as
+// time-resolved bus-utilization and miss-rate curves instead of
+// averaging away — the same presentation the sampling-based
+// attraction-memory studies argue from.
+//
+// The Sampler is single-machine, single-goroutine state, exactly like
+// every other Sink: the machine drives it from the scheduler loop via
+// Advance (simulated clock), feeds it protocol/bus/sync events via Emit,
+// and feeds it access outcomes via NoteAccess/NoteMiss (misses are not
+// events). Attribution rule: everything observed between two Advance
+// calls lands in the window containing the *step* that produced it, even
+// when an individual event timestamp (a bus grant queued behind earlier
+// traffic) falls past the window edge. Windows are therefore exact
+// partitions of scheduler time, the quantity that is non-decreasing.
+
+// Timeline is the compact struct-of-arrays result of a sampled run: one
+// entry per window in every slice. Empty windows (no activity while the
+// clock jumped a barrier wait) are materialized as zeros so index i is
+// always the window starting at i*WindowNs.
+type Timeline struct {
+	// WindowNs is the window width in simulated nanoseconds.
+	WindowNs int64
+	// BusNs[class][i] is bus occupancy granted in window i per
+	// transaction class (read, write, replace).
+	BusNs [3][]int64
+	// Reads[i] and Writes[i] count data references issued in window i.
+	Reads, Writes []int64
+	// SLCMisses[i] counts references that missed the private hierarchy
+	// and entered the attraction-memory system.
+	SLCMisses []int64
+	// NodeMisses[i] counts references the local attraction memory could
+	// not satisfy (a global bus transaction was required).
+	NodeMisses []int64
+	// Transitions[i*16 + from*4 + to] counts AM state transitions in
+	// window i (states are the coma package's I=0, S=1, O=2, E=3).
+	Transitions []int64
+	// WBStallNs[i] is write-buffer back-pressure time charged in window i.
+	WBStallNs []int64
+	// SyncArrivals[i] counts barrier/lock-wait arrivals in window i.
+	SyncArrivals []int64
+	// Replacements[i] counts replacement outcomes in window i.
+	Replacements []int64
+}
+
+// Windows returns the number of sampled windows.
+func (t *Timeline) Windows() int { return len(t.Reads) }
+
+// StartNs returns the simulated start time of window i.
+func (t *Timeline) StartNs(i int) int64 { return int64(i) * t.WindowNs }
+
+// BusBusyNs returns total bus occupancy granted in window i.
+func (t *Timeline) BusBusyNs(i int) int64 {
+	return t.BusNs[0][i] + t.BusNs[1][i] + t.BusNs[2][i]
+}
+
+// BusUtilization returns window i's bus occupancy as a fraction of the
+// window width. Queued grants are attributed to the window of the step
+// that issued them, so a saturated window can exceed 1.0.
+func (t *Timeline) BusUtilization(i int) float64 {
+	return float64(t.BusBusyNs(i)) / float64(t.WindowNs)
+}
+
+// TransitionTotal returns the number of AM state transitions in window i.
+func (t *Timeline) TransitionTotal(i int) int64 {
+	var n int64
+	for _, v := range t.Transitions[i*16 : (i+1)*16] {
+		n += v
+	}
+	return n
+}
+
+// TransitionsFrom returns window i's transition count out of a state.
+func (t *Timeline) TransitionsFrom(i int, from int) int64 {
+	var n int64
+	for _, v := range t.Transitions[i*16+from*4 : i*16+from*4+4] {
+		n += v
+	}
+	return n
+}
+
+// window is the current accumulator; flush appends it to the timeline.
+type window struct {
+	bus        [3]int64
+	reads      int64
+	writes     int64
+	slcMisses  int64
+	nodeMisses int64
+	trans      [16]int64
+	wbStallNs  int64
+	syncArr    int64
+	repl       int64
+}
+
+// Sampler accumulates per-window counter deltas. Create with NewSampler,
+// install as the machine's sampler (Machine.EnableSampling), and read
+// the Timeline after the run. It also implements Sink so it can sit in a
+// Tee next to user sinks.
+type Sampler struct {
+	windowNs int64
+	edge     int64 // end of the current window (exclusive)
+	cur      window
+	tl       Timeline
+	done     bool
+}
+
+// NewSampler returns a sampler with the given window width in simulated
+// nanoseconds (w >= 1).
+func NewSampler(windowNs int64) *Sampler {
+	if windowNs < 1 {
+		panic("obs: sampler window must be positive")
+	}
+	return &Sampler{windowNs: windowNs, edge: windowNs, tl: Timeline{WindowNs: windowNs}}
+}
+
+// Advance moves the sampler's notion of simulated time forward, flushing
+// every window that ended at or before now. The machine calls it once
+// per scheduler step with the stepping processor's clock, which is
+// non-decreasing.
+func (s *Sampler) Advance(now int64) {
+	for now >= s.edge {
+		s.flush()
+	}
+}
+
+// flush appends the current window and opens the next one.
+func (s *Sampler) flush() {
+	c := &s.cur
+	for cl := 0; cl < 3; cl++ {
+		s.tl.BusNs[cl] = append(s.tl.BusNs[cl], c.bus[cl])
+	}
+	s.tl.Reads = append(s.tl.Reads, c.reads)
+	s.tl.Writes = append(s.tl.Writes, c.writes)
+	s.tl.SLCMisses = append(s.tl.SLCMisses, c.slcMisses)
+	s.tl.NodeMisses = append(s.tl.NodeMisses, c.nodeMisses)
+	s.tl.Transitions = append(s.tl.Transitions, c.trans[:]...)
+	s.tl.WBStallNs = append(s.tl.WBStallNs, c.wbStallNs)
+	s.tl.SyncArrivals = append(s.tl.SyncArrivals, c.syncArr)
+	s.tl.Replacements = append(s.tl.Replacements, c.repl)
+	*c = window{}
+	s.edge += s.windowNs
+}
+
+// Emit implements Sink: bus grants, transitions, write-buffer stalls,
+// sync arrivals and replacements all contribute to the current window.
+func (s *Sampler) Emit(e Event) {
+	switch e.Kind {
+	case KindBusGrant:
+		if e.Class < 3 {
+			s.cur.bus[e.Class] += e.Dur
+		}
+	case KindTransition:
+		if e.From < 4 && e.To < 4 {
+			s.cur.trans[int(e.From)*4+int(e.To)]++
+		}
+	case KindWBStall:
+		s.cur.wbStallNs += e.Dur
+	case KindSyncArrive:
+		s.cur.syncArr++
+	case KindReplacement:
+		s.cur.repl++
+	}
+}
+
+// NoteAccess records a data reference issued in the current window.
+func (s *Sampler) NoteAccess(write bool) {
+	if write {
+		s.cur.writes++
+	} else {
+		s.cur.reads++
+	}
+}
+
+// NoteMiss records a reference that missed the private hierarchy;
+// nodeMiss reports whether the local attraction memory also missed
+// (a global transaction was needed).
+func (s *Sampler) NoteMiss(nodeMiss bool) {
+	s.cur.slcMisses++
+	if nodeMiss {
+		s.cur.nodeMisses++
+	}
+}
+
+// Timeline seals the sampler — flushing the in-progress window if it saw
+// any activity — and returns the accumulated timeline. Idempotent.
+func (s *Sampler) Timeline() *Timeline {
+	if !s.done {
+		s.done = true
+		if s.cur != (window{}) {
+			s.flush()
+		}
+	}
+	return &s.tl
+}

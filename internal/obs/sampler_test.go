@@ -1,0 +1,87 @@
+package obs
+
+import "testing"
+
+func TestSamplerWindows(t *testing.T) {
+	s := NewSampler(100)
+
+	// Window 0: a read that hits, a write that misses all the way.
+	s.NoteAccess(false)
+	s.NoteAccess(true)
+	s.NoteMiss(true)
+	s.Emit(Event{Kind: KindBusGrant, Class: 1, Dur: 40})
+	s.Emit(Event{Kind: KindTransition, From: 0, To: 3})
+
+	// Clock jumps past windows 1 and 2 (idle); window 3 gets a stall and
+	// a sync arrival.
+	s.Advance(350)
+	s.Emit(Event{Kind: KindWBStall, Dur: 25})
+	s.Emit(Event{Kind: KindSyncArrive})
+	s.Emit(Event{Kind: KindReplacement})
+
+	tl := s.Timeline()
+	if got := tl.Windows(); got != 4 {
+		t.Fatalf("windows = %d, want 4", got)
+	}
+	if tl.Reads[0] != 1 || tl.Writes[0] != 1 || tl.SLCMisses[0] != 1 || tl.NodeMisses[0] != 1 {
+		t.Errorf("window 0 accesses = r%d w%d slc%d node%d, want 1 1 1 1",
+			tl.Reads[0], tl.Writes[0], tl.SLCMisses[0], tl.NodeMisses[0])
+	}
+	if tl.BusNs[1][0] != 40 || tl.BusBusyNs(0) != 40 {
+		t.Errorf("window 0 bus = %v, want 40 in class 1", tl.BusNs)
+	}
+	if got := tl.BusUtilization(0); got != 0.4 {
+		t.Errorf("window 0 bus util = %g, want 0.4", got)
+	}
+	if tl.Transitions[0*16+0*4+3] != 1 || tl.TransitionTotal(0) != 1 || tl.TransitionsFrom(0, 0) != 1 {
+		t.Errorf("window 0 transitions wrong: %v", tl.Transitions[:16])
+	}
+	// Idle windows materialize as zeros.
+	for i := 1; i <= 2; i++ {
+		if tl.Reads[i] != 0 || tl.BusBusyNs(i) != 0 || tl.TransitionTotal(i) != 0 {
+			t.Errorf("window %d not empty", i)
+		}
+	}
+	if tl.WBStallNs[3] != 25 || tl.SyncArrivals[3] != 1 || tl.Replacements[3] != 1 {
+		t.Errorf("window 3 = wb%d sync%d repl%d, want 25 1 1",
+			tl.WBStallNs[3], tl.SyncArrivals[3], tl.Replacements[3])
+	}
+	if got := tl.StartNs(3); got != 300 {
+		t.Errorf("StartNs(3) = %d, want 300", got)
+	}
+
+	// Sealing is idempotent: a second call adds nothing.
+	if tl2 := s.Timeline(); tl2.Windows() != 4 {
+		t.Errorf("second Timeline() call grew to %d windows", tl2.Windows())
+	}
+}
+
+// Advance at an exact window edge closes the window: time t belongs to
+// window t/W, so the edge itself starts the next window.
+func TestSamplerEdgeBoundary(t *testing.T) {
+	s := NewSampler(100)
+	s.NoteAccess(false)
+	s.Advance(100)
+	s.NoteAccess(false)
+	tl := s.Timeline()
+	if tl.Windows() != 2 || tl.Reads[0] != 1 || tl.Reads[1] != 1 {
+		t.Fatalf("edge split wrong: windows=%d reads=%v", tl.Windows(), tl.Reads)
+	}
+}
+
+// An entirely idle sampler produces an empty timeline, not a zero window.
+func TestSamplerEmpty(t *testing.T) {
+	s := NewSampler(100)
+	if got := s.Timeline().Windows(); got != 0 {
+		t.Fatalf("idle sampler has %d windows, want 0", got)
+	}
+}
+
+func TestSamplerBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSampler(0) did not panic")
+		}
+	}()
+	NewSampler(0)
+}

@@ -1,0 +1,19 @@
+// Package tracing is a minimal, dependency-free span tracer for the
+// service layer: every comasrv request becomes a root span, the stages
+// it passes through (canonicalize, store lookup, queue wait, each
+// simulation, artifact render) become child spans, and completed traces
+// live in a bounded in-memory ring for retrieval over the API.
+//
+// The design deliberately mirrors the W3C/OpenTelemetry shape — hex
+// trace IDs propagated in a header, spans with parent links, wall-clock
+// start plus monotonic duration — without importing any of it: the repo
+// is stdlib-only, and the handful of concepts the daemon needs fit in
+// one file. Spans are recorded into their trace on End, so a trace read
+// mid-request shows the completed stages so far; reads always see
+// consistent, immutable span records.
+//
+// Unlike package obs, which instruments the simulator's hot path and is
+// therefore allocation-free when disabled, tracing instruments HTTP
+// requests: a few allocations per request are irrelevant next to the
+// simulations those requests run.
+package tracing

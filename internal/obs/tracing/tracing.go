@@ -1,0 +1,266 @@
+package tracing
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultCapacity is the trace-ring size NewTracer(0) uses.
+const DefaultCapacity = 256
+
+// maxSpansPerTrace bounds one trace's memory: a study request fans out
+// to at most a few hundred simulations, so overflow only happens if a
+// span leak is introduced — the Dropped counter makes that visible.
+const maxSpansPerTrace = 512
+
+// Tracer creates traces and retains the most recent ones in a bounded
+// FIFO ring. Safe for concurrent use.
+type Tracer struct {
+	mu       sync.Mutex
+	traces   map[string]*trace
+	order    []string // FIFO eviction order
+	capacity int
+}
+
+// NewTracer returns a tracer retaining up to capacity traces
+// (0 = DefaultCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{traces: make(map[string]*trace), capacity: capacity}
+}
+
+// trace is the mutable store behind one trace ID.
+type trace struct {
+	mu      sync.Mutex
+	id      string
+	spans   []SpanData
+	dropped int64
+}
+
+// SpanData is one completed span as stored and serialized.
+type SpanData struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	StartUnix  int64             `json:"start_unix_ns"`
+	DurationNs int64             `json:"duration_ns"`
+	Error      string            `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceData is a consistent snapshot of one trace — the GET
+// /v1/traces/{id} payload.
+type TraceData struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanData `json:"spans"`
+	Dropped int64      `json:"dropped_spans,omitempty"`
+}
+
+// WriteJSONL writes the trace one span per line, the same export shape
+// as the simulator's event traces (obs.JSONL): greppable, streamable,
+// loadable into any dataframe.
+func (td TraceData) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range td.Spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Span is an in-progress operation. Start one with Tracer.StartRoot or
+// Span.StartChild, finish it with End. All methods are nil-safe so call
+// sites need no "is tracing on?" branches.
+type Span struct {
+	tr     *trace
+	data   SpanData
+	start  time.Time
+	mu     sync.Mutex
+	attrs  map[string]string
+	endErr error
+	ended  bool
+}
+
+// newID returns n crypto-random bytes in hex.
+func newID(n int) string {
+	b := make([]byte, n)
+	rand.Read(b) // never fails on supported platforms (crypto/rand docs)
+	return hex.EncodeToString(b)
+}
+
+// ValidTraceID reports whether id is acceptable as a propagated trace
+// ID: 1-64 lowercase hex characters (the W3C traceparent alphabet).
+// Anything else is discarded and replaced, never echoed back.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// StartRoot begins a new trace and returns its root span. traceID, when
+// valid (ValidTraceID), is adopted — the propagation path for a caller's
+// X-Trace-Id — otherwise a fresh ID is generated. The trace is
+// registered immediately, evicting the oldest when the ring is full.
+func (t *Tracer) StartRoot(name, traceID string) *Span {
+	if !ValidTraceID(traceID) {
+		traceID = newID(16)
+	}
+	tr := &trace{id: traceID}
+	t.mu.Lock()
+	if _, exists := t.traces[traceID]; !exists {
+		t.traces[traceID] = tr
+		t.order = append(t.order, traceID)
+		for len(t.order) > t.capacity {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+	} else {
+		// A reused trace ID (caller retries with the same header) appends
+		// to the existing trace rather than clobbering it.
+		tr = t.traces[traceID]
+	}
+	t.mu.Unlock()
+	return &Span{
+		tr:    tr,
+		start: time.Now(),
+		data: SpanData{
+			TraceID:   traceID,
+			SpanID:    newID(8),
+			Name:      name,
+			StartUnix: time.Now().UnixNano(),
+		},
+	}
+}
+
+// Get returns a snapshot of a retained trace.
+func (t *Tracer) Get(id string) (TraceData, bool) {
+	if t == nil {
+		return TraceData{}, false
+	}
+	t.mu.Lock()
+	tr, ok := t.traces[id]
+	t.mu.Unlock()
+	if !ok {
+		return TraceData{}, false
+	}
+	tr.mu.Lock()
+	td := TraceData{TraceID: tr.id, Spans: append([]SpanData(nil), tr.spans...), Dropped: tr.dropped}
+	tr.mu.Unlock()
+	return td, true
+}
+
+// Len returns the number of retained traces.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// StartChild begins a child span of s.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tr:    s.tr,
+		start: time.Now(),
+		data: SpanData{
+			TraceID:   s.data.TraceID,
+			SpanID:    newID(8),
+			ParentID:  s.data.SpanID,
+			Name:      name,
+			StartUnix: time.Now().UnixNano(),
+		},
+	}
+}
+
+// TraceID returns the span's trace ID ("" for a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.TraceID
+}
+
+// SetAttr attaches a string attribute (last write per key wins).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetErr records the error the span will carry when it ends (nil clears).
+func (s *Span) SetErr(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.endErr = err
+	s.mu.Unlock()
+}
+
+// End completes the span and records it into its trace. Idempotent;
+// nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	d := s.data
+	d.DurationNs = time.Since(s.start).Nanoseconds()
+	d.Attrs = s.attrs
+	if s.endErr != nil {
+		d.Error = s.endErr.Error()
+	}
+	s.mu.Unlock()
+
+	tr := s.tr
+	tr.mu.Lock()
+	if len(tr.spans) < maxSpansPerTrace {
+		tr.spans = append(tr.spans, d)
+	} else {
+		tr.dropped++
+	}
+	tr.mu.Unlock()
+}
+
+// ctxKey keys the span stored in a context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying span.
+func NewContext(ctx context.Context, span *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

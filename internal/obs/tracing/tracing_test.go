@@ -1,0 +1,187 @@
+package tracing
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.StartRoot("request", "")
+	if !ValidTraceID(root.TraceID()) {
+		t.Fatalf("generated trace ID %q is not valid", root.TraceID())
+	}
+	child := root.StartChild("simulate")
+	child.SetAttr("app", "fft")
+	child.SetErr(errors.New("boom"))
+	child.End()
+	child.End() // idempotent: must not double-record
+	root.End()
+
+	td, ok := tr.Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(td.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(td.Spans))
+	}
+	// Spans record in end order: child first.
+	c, r := td.Spans[0], td.Spans[1]
+	if c.Name != "simulate" || c.ParentID != r.SpanID || c.TraceID != td.TraceID {
+		t.Errorf("child span wrong: %+v", c)
+	}
+	if c.Attrs["app"] != "fft" || c.Error != "boom" {
+		t.Errorf("child attrs/error wrong: %+v", c)
+	}
+	if r.ParentID != "" || r.Name != "request" {
+		t.Errorf("root span wrong: %+v", r)
+	}
+	if c.DurationNs < 0 || c.StartUnix <= 0 {
+		t.Errorf("timestamps wrong: %+v", c)
+	}
+}
+
+func TestTraceIDPropagation(t *testing.T) {
+	tr := NewTracer(4)
+	// A valid caller-supplied ID is adopted verbatim.
+	s := tr.StartRoot("r", "deadbeef01")
+	if s.TraceID() != "deadbeef01" {
+		t.Errorf("valid ID not adopted: %q", s.TraceID())
+	}
+	// Invalid IDs (wrong alphabet, uppercase, too long) are replaced.
+	for _, bad := range []string{"", "XYZ", "DEADBEEF", strings.Repeat("a", 65), "abc-def"} {
+		s := tr.StartRoot("r", bad)
+		if s.TraceID() == bad {
+			t.Errorf("invalid ID %q was adopted", bad)
+		}
+		if !ValidTraceID(s.TraceID()) {
+			t.Errorf("replacement for %q is invalid: %q", bad, s.TraceID())
+		}
+	}
+	// Reusing an ID appends to the same trace instead of clobbering it.
+	a := tr.StartRoot("first", "deadbeef01")
+	a.End()
+	b := tr.StartRoot("second", "deadbeef01")
+	b.End()
+	td, _ := tr.Get("deadbeef01")
+	if len(td.Spans) != 2 {
+		t.Errorf("reused trace has %d spans, want 2", len(td.Spans))
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		s := tr.StartRoot("r", "")
+		s.End()
+		ids = append(ids, s.TraceID())
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("ring holds %d traces, want 3", tr.Len())
+	}
+	for _, old := range ids[:2] {
+		if _, ok := tr.Get(old); ok {
+			t.Errorf("trace %s should have been evicted", old)
+		}
+	}
+	for _, recent := range ids[2:] {
+		if _, ok := tr.Get(recent); !ok {
+			t.Errorf("trace %s should be retained", recent)
+		}
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.StartRoot("r", "")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		root.StartChild("c").End()
+	}
+	root.End()
+	td, _ := tr.Get(root.TraceID())
+	if len(td.Spans) != maxSpansPerTrace {
+		t.Errorf("spans = %d, want cap %d", len(td.Spans), maxSpansPerTrace)
+	}
+	if td.Dropped != 11 { // 10 extra children + the root
+		t.Errorf("dropped = %d, want 11", td.Dropped)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.StartRoot("r", "")
+	root.StartChild("c").End()
+	root.End()
+	td, _ := tr.Get(root.TraceID())
+	var sb strings.Builder
+	if err := td.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines int
+	for sc.Scan() {
+		var s SpanData
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if s.TraceID != td.TraceID {
+			t.Errorf("line %d has trace %q", lines, s.TraceID)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d, want 2", lines)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yields a span")
+	}
+	tr := NewTracer(1)
+	s := tr.StartRoot("r", "")
+	ctx := NewContext(context.Background(), s)
+	if FromContext(ctx) != s {
+		t.Fatal("span did not round-trip")
+	}
+	// Nil-safe call chain off an absent span.
+	var nilSpan *Span
+	nilSpan.SetAttr("k", "v")
+	nilSpan.SetErr(nil)
+	nilSpan.StartChild("c").End()
+	nilSpan.End()
+	if nilSpan.TraceID() != "" {
+		t.Fatal("nil span has a trace ID")
+	}
+}
+
+// Concurrent span creation and retrieval must be race-clean (the daemon
+// ends simulate spans from pool worker goroutines while /v1/traces reads).
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.StartRoot("r", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.StartChild("worker")
+			c.SetAttr("i", fmt.Sprint(i))
+			c.End()
+			tr.Get(root.TraceID())
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	td, _ := tr.Get(root.TraceID())
+	if len(td.Spans) != 9 {
+		t.Fatalf("spans = %d, want 9", len(td.Spans))
+	}
+}

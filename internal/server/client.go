@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/obs/tracing"
 )
 
 // Client is a minimal typed client for the comasrv API, used by the CI
@@ -173,6 +175,17 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobVi
 		case <-time.After(poll):
 		}
 	}
+}
+
+// Trace fetches a retained request trace from the daemon's ring.
+func (c *Client) Trace(ctx context.Context, id string) (tracing.TraceData, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/traces/"+id, nil)
+	if err != nil {
+		return tracing.TraceData{}, err
+	}
+	var td tracing.TraceData
+	err = decode(resp, &td)
+	return td, err
 }
 
 // Metrics fetches the service counters.

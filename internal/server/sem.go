@@ -34,6 +34,20 @@ func newWeighted(size int64) *weighted {
 // Size returns the pool capacity; acquisitions are clamped to it.
 func (w *weighted) Size() int64 { return w.size }
 
+// InUse returns the number of slots currently held.
+func (w *weighted) InUse() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cur
+}
+
+// Waiting returns the number of queued acquisitions.
+func (w *weighted) Waiting() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int64(len(w.waiters))
+}
+
 // Acquire blocks until n slots (clamped to the pool size) are held or
 // ctx is done.
 func (w *weighted) Acquire(ctx context.Context, n int64) error {

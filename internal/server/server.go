@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -18,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/server/store"
 )
 
@@ -35,6 +39,10 @@ type Config struct {
 	StoreMemBytes int64
 	// Timeout bounds each request's simulation time (0 = unbounded).
 	Timeout time.Duration
+	// Logger receives the structured per-request log (trace ID, route,
+	// status, duration). nil discards; cmd/comasrv wires one from its
+	// -log flag.
+	Logger *slog.Logger
 }
 
 // Server is the comasrv HTTP API: the experiment engine behind
@@ -60,6 +68,13 @@ type Server struct {
 
 	counters counters
 	obsSink  *lockedCounting
+
+	logger  *slog.Logger
+	tracer  *tracing.Tracer
+	started time.Time
+
+	reqDur    *histogram
+	queueWait *histogram
 }
 
 // flightKey separates cacheable flights from forced (?nocache=1) ones:
@@ -89,15 +104,24 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
-		cfg:     cfg,
-		store:   st,
-		pool:    newWeighted(int64(cfg.Jobs)),
-		baseCtx: ctx,
-		stop:    cancel,
-		flights: make(map[flightKey]*flight),
-		jobs:    make(map[string]*job),
-		obsSink: &lockedCounting{},
+		cfg:       cfg,
+		store:     st,
+		pool:      newWeighted(int64(cfg.Jobs)),
+		baseCtx:   ctx,
+		stop:      cancel,
+		flights:   make(map[flightKey]*flight),
+		jobs:      make(map[string]*job),
+		obsSink:   &lockedCounting{},
+		logger:    logger,
+		tracer:    tracing.NewTracer(0),
+		started:   time.Now(),
+		reqDur:    newHistogram(durationBuckets...),
+		queueWait: newHistogram(durationBuckets...),
 	}
 	s.mux = http.NewServeMux()
 	for _, r := range Routes() {
@@ -118,6 +142,10 @@ func New(cfg Config) (*Server, error) {
 			s.mux.HandleFunc(r, s.handleJobResult)
 		case "DELETE /v1/jobs/{id}":
 			s.mux.HandleFunc(r, s.handleJobCancel)
+		case "GET /v1/traces/{id}":
+			s.mux.HandleFunc(r, s.handleTrace)
+		case "GET /metrics":
+			s.mux.HandleFunc(r, s.handlePromMetrics)
 		default:
 			panic("server: unhandled route " + r)
 		}
@@ -137,13 +165,45 @@ func Routes() []string {
 		"GET /v1/jobs/{id}",
 		"GET /v1/jobs/{id}/result",
 		"DELETE /v1/jobs/{id}",
+		"GET /v1/traces/{id}",
+		"GET /metrics",
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: every request runs inside a root
+// span whose trace ID comes from the caller's X-Trace-Id header when
+// valid (and is always echoed back in the response's X-Trace-Id), with
+// latency recorded into the /metrics histogram and one structured log
+// line emitted on completion.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.counters.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
+	span := s.tracer.StartRoot(r.Method+" "+r.URL.Path, r.Header.Get("X-Trace-Id"))
+	w.Header().Set("X-Trace-Id", span.TraceID())
+	sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r.WithContext(tracing.NewContext(r.Context(), span)))
+	dur := time.Since(start)
+	s.reqDur.Observe(dur.Seconds())
+	span.SetAttr("status", strconv.Itoa(sw.status))
+	span.End()
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("trace_id", span.TraceID()),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Duration("duration", dur))
+}
+
+// statusRecorder captures the response status for the request log and
+// root span.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
 }
 
 // Close cancels every running and queued job (their simulations stop
@@ -220,6 +280,16 @@ func (s *Server) newRunner(ctx context.Context, procs, jobs int) *experiments.Ru
 	r.Ctx = ctx
 	r.OnSimulate = func(string, config.Machine) { s.counters.simsExecuted.Add(1) }
 	r.SinkFactory = func(string, config.Machine) obs.Sink { return s.obsSink }
+	parent := tracing.FromContext(ctx)
+	r.WrapSimulate = func(app string, cfg config.Machine) func(error) {
+		sp := parent.StartChild("simulate")
+		sp.SetAttr("app", app)
+		sp.SetAttr("cfg", experiments.CfgLabel(cfg))
+		return func(err error) {
+			sp.SetErr(err)
+			sp.End()
+		}
+	}
 	return r
 }
 
@@ -230,11 +300,17 @@ func (s *Server) newRunner(ctx context.Context, procs, jobs int) *experiments.Ru
 func (s *Server) execute(ctx context.Context, key store.Key, nocache bool, weight int64,
 	compute func(ctx context.Context) ([]byte, error)) (body []byte, cached bool, err error) {
 
+	span := tracing.FromContext(ctx)
 	if nocache {
 		s.counters.cacheBypassed.Add(1)
-	} else if b, ok := s.store.Get(key); ok {
-		s.counters.cacheHits.Add(1)
-		return b, true, nil
+	} else {
+		lk := span.StartChild("store.lookup")
+		b, ok := s.store.Get(key)
+		lk.End()
+		if ok {
+			s.counters.cacheHits.Add(1)
+			return b, true, nil
+		}
 	}
 
 	fk := flightKey{key: key, nocache: nocache}
@@ -256,7 +332,13 @@ func (s *Server) execute(ctx context.Context, key store.Key, nocache bool, weigh
 	s.counters.flightsExecuted.Add(1)
 	s.counters.activeFlights.Add(1)
 	fl.body, fl.err = func() ([]byte, error) {
-		if err := s.pool.Acquire(ctx, weight); err != nil {
+		qw := span.StartChild("queue.wait")
+		qstart := time.Now()
+		err := s.pool.Acquire(ctx, weight)
+		s.queueWait.Observe(time.Since(qstart).Seconds())
+		qw.SetErr(err)
+		qw.End()
+		if err != nil {
 			return nil, err
 		}
 		defer s.pool.Release(weight)
@@ -282,8 +364,65 @@ func (s *Server) execute(ctx context.Context, key store.Key, nocache bool, weigh
 
 // --- handlers ---------------------------------------------------------
 
+// Healthz is the GET /v1/healthz payload: liveness plus enough identity
+// (schema version, build info, uptime) to tell *what* is alive.
+type Healthz struct {
+	Status        string  `json:"status"`
+	SimSlots      int64   `json:"sim_slots"`
+	SchemaVersion int     `json:"schema_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Module        string  `json:"module,omitempty"`
+	VCSRevision   string  `json:"vcs_revision,omitempty"`
+	VCSTime       string  `json:"vcs_time,omitempty"`
+}
+
+// buildID is the embedded build identity, read once at startup.
+var buildID = func() (b struct{ mod, rev, vcsTime string }) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.mod = bi.Main.Path
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			b.rev = kv.Value
+		case "vcs.time":
+			b.vcsTime = kv.Value
+		}
+	}
+	return b
+}()
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sim_slots": s.pool.Size()})
+	writeJSON(w, http.StatusOK, Healthz{
+		Status:        "ok",
+		SimSlots:      s.pool.Size(),
+		SchemaVersion: schemaVersion,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		GoVersion:     runtime.Version(),
+		Module:        buildID.mod,
+		VCSRevision:   buildID.rev,
+		VCSTime:       buildID.vcsTime,
+	})
+}
+
+// handleTrace serves a retained trace from the tracer's ring, as JSON or
+// (with ?format=jsonl) one span per line.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	td, ok := s.tracer.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown trace %q (ring keeps the most recent %d)", id, tracing.DefaultCapacity))
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		td.WriteJSONL(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -380,13 +519,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errStatus(err), err)
 		return
 	}
+	cspan := tracing.FromContext(r.Context()).StartChild("canonicalize")
 	cfg, err := req.normalize()
 	if err != nil {
+		cspan.SetErr(err)
+		cspan.End()
 		s.counters.badRequests.Add(1)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	key := req.key()
+	cspan.End()
 	nocache := r.URL.Query().Get("nocache") == "1"
 	compute := func(ctx context.Context) ([]byte, error) {
 		runner := s.newRunner(ctx, req.Procs, 1)
@@ -399,7 +542,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return json.Marshal(newSimResult(res))
 	}
 	if r.URL.Query().Get("async") == "1" {
-		s.respondAsync(w, key, nocache, 1, "application/json", compute)
+		s.respondAsync(w, r, key, nocache, 1, "application/json", compute)
 		return
 	}
 	body, cached, err := s.execute(r.Context(), key, nocache, 1, compute)
@@ -427,16 +570,27 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errStatus(err), err)
 		return
 	}
+	cspan := tracing.FromContext(r.Context()).StartChild("canonicalize")
 	spec, err := req.normalize(study)
 	if err != nil {
+		cspan.SetErr(err)
+		cspan.End()
 		s.counters.badRequests.Add(1)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	key := req.key(study)
+	cspan.End()
 	nocache := r.URL.Query().Get("nocache") == "1"
-	compute := func(ctx context.Context) ([]byte, error) {
+	compute := func(ctx context.Context) (body []byte, err error) {
 		runner := s.newRunner(ctx, req.Procs, s.cfg.Jobs)
+		// The render span covers the whole artifact production; the
+		// simulations it fans out to appear as sibling simulate spans.
+		rspan := tracing.FromContext(ctx).StartChild("render")
+		defer func() {
+			rspan.SetErr(err)
+			rspan.End()
+		}()
 		var buf bytes.Buffer
 		if study == "sweep" {
 			rows, err := runner.Sweep(spec)
@@ -452,7 +606,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		return buf.Bytes(), nil
 	}
 	if r.URL.Query().Get("async") == "1" {
-		s.respondAsync(w, key, nocache, s.pool.Size(), "text/plain; charset=utf-8", compute)
+		s.respondAsync(w, r, key, nocache, s.pool.Size(), "text/plain; charset=utf-8", compute)
 		return
 	}
 	body, cached, err := s.execute(r.Context(), key, nocache, s.pool.Size(), compute)
@@ -472,11 +626,15 @@ func writeStudy(w http.ResponseWriter, key store.Key, cached bool, body []byte) 
 }
 
 // respondAsync enqueues the computation as a job and answers 202 with
-// the job's view.
-func (s *Server) respondAsync(w http.ResponseWriter, key store.Key, nocache bool, weight int64,
+// the job's view. The request's span is threaded into the job context,
+// so the stages of an async computation land in the same trace as the
+// 202 response that launched it (the root span ends at the 202; late
+// children are still recorded).
+func (s *Server) respondAsync(w http.ResponseWriter, r *http.Request, key store.Key, nocache bool, weight int64,
 	contentType string, compute func(ctx context.Context) ([]byte, error)) {
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	ctx = tracing.NewContext(ctx, tracing.FromContext(r.Context()))
 	j := s.newJob(key, cancel)
 	s.counters.jobsCreated.Add(1)
 	go func() {
