@@ -58,6 +58,37 @@ func BenchmarkSimFigure2Matrix(b *testing.B) {
 	b.ReportMetric(total/b.Elapsed().Seconds(), "refs/sec")
 }
 
+// BenchmarkSimRing64 is the tracked ring-topology benchmark: one
+// 64-processor simulation (32 nodes in 16 clusters, scaled pressure) on
+// the hierarchical fabric, un-memoized, so elapsed time is pure ring
+// simulator throughput — cluster-bus arbitration, link hops and
+// two-level directory maintenance included. CI's bench job gates its
+// ns/ref alongside BenchmarkSimFigure2Matrix.
+func BenchmarkSimRing64(b *testing.B) {
+	tr, err := core.Workload("fft", 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := tr.Summarize()
+	perIter := s.Reads + s.Writes
+	cfg := core.Baseline(2, core.MP50)
+	cfg.Procs = 64
+	cfg.ScalePressure = true
+	cfg.Topology = "ring"
+	cfg.Clusters = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	total := float64(perIter) * float64(b.N)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/ref")
+	b.ReportMetric(total/b.Elapsed().Seconds(), "refs/sec")
+}
+
 // freshFigure2 regenerates Figure 2 on a fresh un-memoized 8-processor
 // runner with the given pool width, so the benchmark measures real
 // simulation wall clock rather than cache hits.

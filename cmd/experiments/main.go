@@ -3,6 +3,11 @@
 //
 //	table1, fig2, fig3, fig4, fig5, thresholds, sens-dram, sens-node,
 //	sens-bus, latency, sens-mp
+//
+// plus the on-demand extras (not part of the default set):
+//
+//	fig2scaled — clustering and memory-pressure sweeps at 64 and 128
+//	processors on the ring-of-clusters topology
 package main
 
 import (
@@ -16,7 +21,7 @@ import (
 
 func main() {
 	flags.SetUsage("experiments", "regenerate the paper's tables and figures (all, or one artifact with -only)")
-	only := flag.String("only", "", "run a single artifact (table1, fig2..fig5, sens-*, thresholds)")
+	only := flag.String("only", "", "run a single artifact (table1, fig2..fig5, sens-*, thresholds, fig2scaled)")
 	chart := flag.Bool("chart", false, "render figures 3-5 as stacked bar charts")
 	procs := flags.Procs(16)
 	verbose := flags.Verbose()
@@ -34,10 +39,14 @@ func main() {
 	if *verbose {
 		r.Progress = os.Stderr
 	}
-	for _, name := range experiments.Artifacts() {
-		if *only == "" || *only == name {
-			check(experiments.RenderArtifact(os.Stdout, r, name, *chart))
-		}
+	names := experiments.Artifacts()
+	if *only != "" {
+		// A single -only run resolves any renderable artifact, including
+		// the extras excluded from the default set (fig2scaled).
+		names = []string{*only}
+	}
+	for _, name := range names {
+		check(experiments.RenderArtifact(os.Stdout, r, name, *chart))
 	}
 }
 

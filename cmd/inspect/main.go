@@ -37,6 +37,9 @@ func main() {
 	dram := flag.Float64("dram", 1, "DRAM bandwidth multiplier")
 	nc := flag.Float64("nc", 1, "node-controller bandwidth multiplier")
 	bus := flag.Float64("bus", 1, "bus bandwidth multiplier")
+	topology := flag.String("topology", "", "interconnect topology: bus (default) or ring")
+	clusters := flag.Int("clusters", 0, "ring cluster count (0 = one cluster per node)")
+	linkLat := flag.Int("linklat", 0, "ring link latency in ns (0 = default, -1 = explicitly zero)")
 	what := flag.String("what", "all", "what to dump: util, transitions, protocol or all")
 	format := flag.String("format", "text", "output format: text or csv")
 	timeline := flag.Bool("timeline", false, "sample windowed counters and dump the per-run timeline (sparklines, or raw windows with -format csv)")
@@ -51,7 +54,7 @@ func main() {
 	if *appsFlag != "" {
 		appNames = strings.Split(*appsFlag, ",")
 	}
-	cfgs, err := buildConfigs(*ppnFlag, *mpFlag, *ways, *dram, *nc, *bus)
+	cfgs, err := buildConfigs(*ppnFlag, *mpFlag, *ways, *dram, *nc, *bus, *topology, *clusters, *linkLat)
 	check(err)
 
 	r := experiments.NewRunner()
@@ -91,7 +94,7 @@ func main() {
 
 // buildConfigs expands the flag cross product into configurations in
 // ppn-major, pressure-minor order.
-func buildConfigs(ppnFlag, mpFlag string, ways int, dram, nc, bus float64) ([]config.Machine, error) {
+func buildConfigs(ppnFlag, mpFlag string, ways int, dram, nc, bus float64, topology string, clusters, linkLat int) ([]config.Machine, error) {
 	var cfgs []config.Machine
 	for _, ppnStr := range strings.Split(ppnFlag, ",") {
 		ppn, err := strconv.Atoi(strings.TrimSpace(ppnStr))
@@ -108,6 +111,9 @@ func buildConfigs(ppnFlag, mpFlag string, ways int, dram, nc, bus float64) ([]co
 			c.DRAMBandwidth = dram
 			c.NCBandwidth = nc
 			c.BusBandwidth = bus
+			c.Topology = topology
+			c.Clusters = clusters
+			c.LinkLatencyNs = linkLat
 			cfgs = append(cfgs, c)
 		}
 	}

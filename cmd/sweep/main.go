@@ -24,16 +24,24 @@ func main() {
 	mps := flag.String("mp", "", "comma-separated pressures, e.g. 6%,50% (default: all 5)")
 	ways := flag.String("ways", "4", "comma-separated AM associativities")
 	dram := flag.String("dram", "1", "comma-separated DRAM bandwidth multipliers")
+	topology := flag.String("topology", "", "interconnect topology for every point: bus (default) or ring")
+	clusters := flag.Int("clusters", 0, "ring cluster count (0 = one cluster per node)")
+	linkLat := flag.Int("linklat", 0, "ring link latency in ns (0 = default, -1 = explicitly zero)")
+	scalePressure := flag.Bool("scale-pressure", false, "hold the fractional memory pressure constant at non-paper machine sizes")
 	verbose := flags.Verbose()
 	dryRun := flag.Bool("n", false, "print the point count and exit")
 	jobs := flags.Jobs()
 	flag.Parse()
 
 	spec := experiments.SweepSpec{
-		Apps:         splitList(*apps),
-		ProcsPerNode: mustInts(*ppn),
-		AMWays:       mustInts(*ways),
-		DRAM:         mustFloats(*dram),
+		Apps:          splitList(*apps),
+		ProcsPerNode:  mustInts(*ppn),
+		AMWays:        mustInts(*ways),
+		DRAM:          mustFloats(*dram),
+		Topology:      *topology,
+		Clusters:      *clusters,
+		LinkLatencyNs: *linkLat,
+		ScalePressure: *scalePressure,
 	}
 	for _, label := range splitList(*mps) {
 		p, err := config.PressureByLabel(label)

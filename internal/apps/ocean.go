@@ -23,7 +23,9 @@ func Ocean(procs, n int, contiguous bool) *trace.Trace {
 	g := NewGen(name, procs)
 
 	// Square processor grid (falls back to 1-D strips if procs is not a
-	// perfect square).
+	// perfect square, and from there to the most-square factorization
+	// whose rows and columns both divide the grid — e.g. 8x16 for 128
+	// processors on a 96x96 grid, where neither a square nor strips fit).
 	ps := 1
 	for ps*ps < procs {
 		ps++
@@ -33,7 +35,16 @@ func Ocean(procs, n int, contiguous bool) *trace.Trace {
 	}
 	pcols := procs / ps
 	if n%ps != 0 || n%pcols != 0 {
-		panic(fmt.Sprintf("ocean: n=%d not divisible by processor grid %dx%d", n, ps, pcols))
+		ps = 0
+		for r := 1; r*r <= procs; r++ {
+			if procs%r == 0 && n%r == 0 && n%(procs/r) == 0 {
+				ps = r
+			}
+		}
+		if ps == 0 {
+			panic(fmt.Sprintf("ocean: no %d-processor grid divides n=%d", procs, n))
+		}
+		pcols = procs / ps
 	}
 	th, tw := n/ps, n/pcols // tile height/width
 

@@ -113,6 +113,11 @@ func Raytrace(procs, tris, imgSide int) *trace.Trace {
 	// when a processor's share is exhausted.
 	const tile = 8
 	tilesPer := (imgSide / tile) * (imgSide / tile) / procs
+	if tilesPer == 0 {
+		// More processors than tiles: one tile per owner; owners past
+		// the tile grid dole out off-image tiles that trace no rays.
+		tilesPer = 1
+	}
 	for p := 0; p < procs; p++ {
 		qcounter.Write(p, p*16, 0)
 	}

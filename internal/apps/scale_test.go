@@ -45,3 +45,26 @@ func TestGenerateScaledUnknown(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// Every registry kernel generates a valid trace at the scaled machine
+// sizes the Figure2Scaled study runs (64 and 128 processors). Several
+// kernels partition fixed problem grids over the processors, so large
+// counts hit degenerate geometries — e.g. ocean's processor grid or
+// raytrace's tile quota — that the paper's 16-processor runs never see.
+func TestKernelsAtScaledSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry at 64/128 processors in -short mode")
+	}
+	for _, a := range Registry {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, procs := range []int{64, 128} {
+				tr := a.Generate(procs)
+				if tr.Procs != procs || tr.WorkingSet == 0 {
+					t.Errorf("%d procs: procs=%d working set=%d", procs, tr.Procs, tr.WorkingSet)
+				}
+			}
+		})
+	}
+}

@@ -26,7 +26,7 @@ var ErrDisplaced = errors.New("coma: line displaced from the accessing node")
 // A line resident nowhere and indexed nowhere is trivially coherent.
 func (p *Protocol) CheckLine(l addrspace.Line) error {
 	owner := -1
-	var copies uint32
+	var copies uint64
 	for n := 0; n < p.nodes; n++ {
 		st, ok := p.ams[n].Lookup(l)
 		if !ok {

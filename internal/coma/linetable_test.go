@@ -12,7 +12,7 @@ import (
 type refModel map[addrspace.Line]lineInfo
 
 func randomInfo(rng *rand.Rand, nodes int) lineInfo {
-	copies := uint32(rng.Intn(1<<uint(nodes)-1) + 1) // non-zero
+	copies := uint64(rng.Intn(1<<uint(nodes)-1) + 1) // non-zero
 	return lineInfo{owner: int16(rng.Intn(nodes)), copies: copies}
 }
 
@@ -109,7 +109,7 @@ func TestLineTableBackwardShift(t *testing.T) {
 		tab := newLineTable(1) // 16 slots -> guaranteed collisions at n=24... after grow
 		ref := refModel{}
 		for i := 1; i <= n; i++ {
-			info := lineInfo{owner: int16(i % 4), copies: uint32(i)}
+			info := lineInfo{owner: int16(i % 4), copies: uint64(i)}
 			tab.put(addrspace.Line(i), info)
 			ref[addrspace.Line(i)] = info
 		}
@@ -157,7 +157,7 @@ func FuzzLineTable(f *testing.F) {
 				tab.del(l)
 				delete(ref, l)
 			default:
-				info := lineInfo{owner: int16(data[i] & 3), copies: uint32(data[i]&0x7f) + 1}
+				info := lineInfo{owner: int16(data[i] & 3), copies: uint64(data[i]&0x7f) + 1}
 				tab.put(l, info)
 				ref[l] = info
 			}

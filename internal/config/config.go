@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addrspace"
 	"repro/internal/coma"
+	"repro/internal/engine"
 	"repro/internal/machine"
 )
 
@@ -83,6 +84,25 @@ type Machine struct {
 	// Policy selects the protocol's replacement design choices
 	// (ablations; default is the paper's protocol).
 	Policy coma.Policy
+
+	// Topology selects the interconnect: "" or "bus" is the paper's
+	// snooping bus, "ring" the hierarchical ring of clusters.
+	Topology string
+	// Clusters is the ring's cluster count; 0 puts every node in its own
+	// cluster (a pure node ring). Ignored on the bus.
+	Clusters int
+	// LinkLatencyNs is the per-hop ring-link latency: 0 selects the
+	// default (machine.DefaultLinkLatency), a negative value means
+	// explicitly zero (the cross-topology equivalence configuration).
+	LinkLatencyNs int
+	// LinkBandwidth divides ring-link occupancy (0 = 1.0 = one
+	// 20 ns phase per address transfer).
+	LinkBandwidth float64
+	// ScalePressure reinterprets the pressure's K/16 working-set
+	// fraction against this machine's processor count instead of the
+	// paper's 16, so scaled sweeps (Figure2Scaled) run at the same
+	// fractional memory pressure as the 16-processor points.
+	ScalePressure bool
 }
 
 // Baseline returns the paper's default machine at the given clustering
@@ -130,6 +150,9 @@ func (m Machine) Params(workingSet uint64) machine.Params {
 		l1 = 4096
 	}
 	amPerProc := roundLines(workingSet / uint64(m.Pressure.K))
+	if m.ScalePressure {
+		amPerProc = roundLines(workingSet * 16 / (uint64(m.Pressure.K) * uint64(procs)))
+	}
 	ways := m.AMWays
 	if ways <= 0 {
 		ways = 4
@@ -145,6 +168,29 @@ func (m Machine) Params(workingSet uint64) machine.Params {
 	p.BusBandwidth = nz(m.BusBandwidth)
 	p.Inclusive = m.Inclusive
 	p.Policy = m.Policy
+	if m.Topology == machine.TopologyRing {
+		clusters := m.Clusters
+		if clusters == 0 {
+			clusters = p.Nodes()
+		}
+		lat := machine.DefaultLinkLatency
+		switch {
+		case m.LinkLatencyNs > 0:
+			lat = engine.Time(m.LinkLatencyNs)
+		case m.LinkLatencyNs < 0:
+			lat = 0
+		}
+		p.Topology = machine.Topology{
+			Kind:          machine.TopologyRing,
+			Clusters:      clusters,
+			LinkLatency:   lat,
+			LinkBandwidth: m.LinkBandwidth,
+		}
+	} else if m.Topology != "" && m.Topology != machine.TopologyBus {
+		// Unknown kinds flow through so machine.Params.Validate rejects
+		// them instead of silently simulating a bus.
+		p.Topology.Kind = m.Topology
+	}
 	return p
 }
 

@@ -10,12 +10,20 @@ import (
 
 // Artifacts lists the renderable evaluation artifacts in the order
 // cmd/experiments regenerates them. Every name is valid input to
-// RenderArtifact.
+// RenderArtifact. The scaled-topology study ("fig2scaled") is not part
+// of the default set — it simulates 64- and 128-processor machines and
+// is requested explicitly via -only.
 func Artifacts() []string {
 	return []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "thresholds",
 		"sens-dram", "sens-node", "sens-bus", "latency", "sens-mp",
 	}
+}
+
+// ExtraArtifacts lists artifacts renderable on demand but excluded from
+// the default regeneration set.
+func ExtraArtifacts() []string {
+	return []string{"fig2scaled"}
 }
 
 // RenderArtifact runs one evaluation artifact on the runner and writes
@@ -136,8 +144,17 @@ func RenderArtifact(w io.Writer, r *Runner, name string, chart bool) error {
 		if err := WritePressure(w, rows); err != nil {
 			return err
 		}
+	case "fig2scaled":
+		f, err := r.Figure2Scaled(ScaledSpec{})
+		if err != nil {
+			return err
+		}
+		if err := f.Write(w); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("experiments: unknown artifact %q (known: %v)", name, Artifacts())
+		return fmt.Errorf("experiments: unknown artifact %q (known: %v, extra: %v)",
+			name, Artifacts(), ExtraArtifacts())
 	}
 	fmt.Fprintln(w)
 	return nil

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// ScaledSpec parameterizes Figure2Scaled. The zero value selects the
+// study's headline sizes (64 and 128 processors); tests pass smaller
+// sizes so the golden stays fast.
+type ScaledSpec struct {
+	// Sizes lists machine sizes (total processors); nil means {64, 128}.
+	Sizes []int
+}
+
+// ScaledMPRow is one application's RNMr across the five memory-pressure
+// operating points at one machine size.
+type ScaledMPRow struct {
+	App  string
+	RNMr []float64 // indexed like config.Pressures
+}
+
+// ScaledSize holds one machine size's two sweeps: the
+// processors-per-AM sweep (Figure 2 rerun) and the memory-pressure
+// sweep, both on the hierarchical ring with pressure scaled to the
+// machine size (config.Machine.ScalePressure).
+type ScaledSize struct {
+	Procs        int
+	PPNs         []int // the three clustering degrees swept at 6% MP
+	Clusters     []int // ring cluster count per clustering degree
+	PPNRows      []Fig2Row
+	Mean2, Mean4 float64 // mean relative RNMr at PPNs[1] and PPNs[2]
+	MPPPN        int     // clustering degree of the pressure sweep
+	MPClusters   int
+	MPRows       []ScaledMPRow
+}
+
+// Fig2Scaled is the scaled-topology study: the paper's Figure 2
+// clustering sweep and its memory-pressure sweep rerun at large machine
+// sizes on the ring-of-clusters topology.
+type Fig2Scaled struct {
+	Sizes []ScaledSize
+}
+
+// ringClusters picks the ring geometry for a node count: four nodes per
+// cluster, with at least two clusters so the ring is a real ring.
+func ringClusters(nodes int) int {
+	if nodes <= 1 {
+		return 1
+	}
+	c := nodes / 4
+	if c < 2 {
+		c = 2
+	}
+	for nodes%c != 0 {
+		c++
+	}
+	return c
+}
+
+// scaledCfg builds one ring configuration of the scaled study.
+func scaledCfg(procs, ppn int, mp config.Pressure) config.Machine {
+	cfg := config.Baseline(ppn, mp)
+	cfg.Procs = procs
+	cfg.ScalePressure = true
+	cfg.Topology = machine.TopologyRing
+	cfg.Clusters = ringClusters(procs / ppn)
+	return cfg
+}
+
+// scaledPPNs picks the three clustering degrees for a machine size,
+// shifted so the node count never exceeds the 64-node directory limit:
+// 64 processors sweep 1/2/4 processors per node (the paper's degrees),
+// 128 processors sweep 2/4/8.
+func scaledPPNs(procs int) []int {
+	base := procs / 64
+	if base < 1 {
+		base = 1
+	}
+	return []int{base, 2 * base, 4 * base}
+}
+
+// Figure2Scaled reruns the clustering and memory-pressure sweeps at the
+// spec's machine sizes on the hierarchical ring topology. Each size's
+// matrix (3 clustering points at 6% MP plus 5 pressure points at the
+// largest degree, per application) executes on the worker pool.
+func (r *Runner) Figure2Scaled(spec ScaledSpec) (*Fig2Scaled, error) {
+	sizes := spec.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{64, 128}
+	}
+	out := &Fig2Scaled{}
+	for _, procs := range sizes {
+		ppns := scaledPPNs(procs)
+		mpPPN := ppns[2]
+		var jobs []job
+		for _, a := range apps.Registry {
+			for _, ppn := range ppns {
+				jobs = append(jobs, job{a.Name, scaledCfg(procs, ppn, config.MP6)})
+			}
+			for _, mp := range config.Pressures {
+				jobs = append(jobs, job{a.Name, scaledCfg(procs, mpPPN, mp)})
+			}
+		}
+		results, err := r.runAll(jobs)
+		if err != nil {
+			return nil, err
+		}
+		sz := ScaledSize{
+			Procs:      procs,
+			PPNs:       ppns,
+			MPPPN:      mpPPN,
+			MPClusters: ringClusters(procs / mpPPN),
+		}
+		for _, ppn := range ppns {
+			sz.Clusters = append(sz.Clusters, ringClusters(procs/ppn))
+		}
+		per := len(ppns) + len(config.Pressures)
+		var rel2s, rel4s []float64
+		for ai, a := range apps.Registry {
+			var rnmr [3]float64
+			for i := range ppns {
+				rnmr[i] = results[ai*per+i].RNMr()
+			}
+			row := Fig2Row{
+				App:   a.Name,
+				RNMr1: rnmr[0],
+				Rel2:  stats.Ratio(rnmr[1], rnmr[0]),
+				Rel4:  stats.Ratio(rnmr[2], rnmr[0]),
+			}
+			sz.PPNRows = append(sz.PPNRows, row)
+			rel2s = append(rel2s, row.Rel2)
+			rel4s = append(rel4s, row.Rel4)
+			mpRow := ScaledMPRow{App: a.Name}
+			for pi := range config.Pressures {
+				mpRow.RNMr = append(mpRow.RNMr, results[ai*per+len(ppns)+pi].RNMr())
+			}
+			sz.MPRows = append(sz.MPRows, mpRow)
+		}
+		sz.Mean2 = stats.Mean(rel2s)
+		sz.Mean4 = stats.Mean(rel4s)
+		out.Sizes = append(out.Sizes, sz)
+	}
+	return out, nil
+}
+
+// Write renders both sweeps for every machine size.
+func (f *Fig2Scaled) Write(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 2 scaled: clustering and memory-pressure sweeps on the ring-of-clusters topology")
+	for _, sz := range f.Sizes {
+		fmt.Fprintf(w, "\n== %d processors ==\n", sz.Procs)
+		fmt.Fprintf(w, "relative RNMr at 6%% MP (ring geometry: %dp nodes in %d clusters, %dp in %d, %dp in %d)\n",
+			sz.PPNs[0], sz.Clusters[0], sz.PPNs[1], sz.Clusters[1], sz.PPNs[2], sz.Clusters[2])
+		t := stats.NewTable("application", fmt.Sprintf("RNMr(%dp)", sz.PPNs[0]),
+			fmt.Sprintf("%dp rel", sz.PPNs[1]), "", fmt.Sprintf("%dp rel", sz.PPNs[2]), "")
+		for _, r := range sz.PPNRows {
+			t.Row(r.App, fmt.Sprintf("%.4f", r.RNMr1),
+				stats.Pct(r.Rel2), stats.Bar(r.Rel2, 1, 20),
+				stats.Pct(r.Rel4), stats.Bar(r.Rel4, 1, 20))
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "average relative RNMr: %dp nodes %s, %dp nodes %s\n",
+			sz.PPNs[1], stats.Pct(sz.Mean2), sz.PPNs[2], stats.Pct(sz.Mean4))
+		fmt.Fprintf(w, "RNMr by memory pressure at %dp nodes (ring of %d clusters)\n",
+			sz.MPPPN, sz.MPClusters)
+		hdr := []string{"application"}
+		for _, mp := range config.Pressures {
+			hdr = append(hdr, mp.Label)
+		}
+		mt := stats.NewTable(hdr...)
+		for _, r := range sz.MPRows {
+			cells := []any{r.App}
+			for _, v := range r.RNMr {
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			}
+			mt.Row(cells...)
+		}
+		if err := mt.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

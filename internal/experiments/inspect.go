@@ -33,6 +33,12 @@ func CfgLabel(c config.Machine) string {
 	if c.BusBandwidth != 1 {
 		s += fmt.Sprintf(" bus=%gx", c.BusBandwidth)
 	}
+	if c.Topology == "ring" {
+		s += fmt.Sprintf(" ring[c=%d]", c.Clusters)
+		if c.LinkLatencyNs != 0 {
+			s += fmt.Sprintf(" lat=%dns", c.LinkLatencyNs)
+		}
+	}
 	return s
 }
 

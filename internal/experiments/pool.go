@@ -29,16 +29,16 @@ type job struct {
 // trace simultaneously — and the cache is empty once all matrices
 // complete.
 func (r *Runner) runAll(jobs []job) ([]*machine.Result, error) {
-	needs := make(map[string]int, len(jobs))
+	needs := make(map[traceKey]int, len(jobs))
 	for _, j := range jobs {
-		needs[j.app]++
+		needs[r.jobTrace(j)]++
 	}
 	r.pinTraces(needs)
 	results := make([]*machine.Result, len(jobs))
 	ran := make([]bool, len(jobs))
 	err := r.forEach(len(jobs), func(i int) error {
 		ran[i] = true
-		defer r.releaseTrace(jobs[i].app, 1)
+		defer r.releaseTrace(r.jobTrace(jobs[i]), 1)
 		res, err := r.Run(jobs[i].app, jobs[i].cfg)
 		results[i] = res
 		return err
@@ -46,7 +46,7 @@ func (r *Runner) runAll(jobs []job) ([]*machine.Result, error) {
 	// Jobs never dispatched (early stop on error) still hold pins.
 	for i, r2 := range ran {
 		if !r2 {
-			r.releaseTrace(jobs[i].app, 1)
+			r.releaseTrace(r.jobTrace(jobs[i]), 1)
 		}
 	}
 	if err != nil {
@@ -55,32 +55,42 @@ func (r *Runner) runAll(jobs []job) ([]*machine.Result, error) {
 	return results, nil
 }
 
-// pinTraces registers a matrix's per-app usage counts before dispatch,
+// jobTrace resolves the trace a job will simulate against, applying the
+// same machine-size default Run does.
+func (r *Runner) jobTrace(j job) traceKey {
+	procs := j.cfg.Procs
+	if procs == 0 {
+		procs = r.Procs
+	}
+	return traceKey{app: j.app, procs: procs}
+}
+
+// pinTraces registers a matrix's per-trace usage counts before dispatch,
 // so a trace shared with a concurrently running matrix cannot be evicted
 // from under it.
-func (r *Runner) pinTraces(needs map[string]int) {
+func (r *Runner) pinTraces(needs map[traceKey]int) {
 	r.mu.Lock()
 	if r.tracePins == nil {
-		r.tracePins = make(map[string]int)
+		r.tracePins = make(map[traceKey]int)
 	}
-	for app, n := range needs {
-		r.tracePins[app] += n
+	for key, n := range needs {
+		r.tracePins[key] += n
 	}
 	r.mu.Unlock()
 }
 
-// releaseTrace drops n pins for app, evicting its cached trace when the
-// global pin count reaches zero. Unpinned traces (direct Trace callers)
-// are never evicted.
-func (r *Runner) releaseTrace(app string, n int) {
+// releaseTrace drops n pins for a trace, evicting it from the cache when
+// the global pin count reaches zero. Unpinned traces (direct Trace
+// callers) are never evicted.
+func (r *Runner) releaseTrace(key traceKey, n int) {
 	r.mu.Lock()
-	if rem, ok := r.tracePins[app]; ok {
+	if rem, ok := r.tracePins[key]; ok {
 		rem -= n
 		if rem <= 0 {
-			delete(r.tracePins, app)
-			delete(r.traces, app)
+			delete(r.tracePins, key)
+			delete(r.traces, key)
 		} else {
-			r.tracePins[app] = rem
+			r.tracePins[key] = rem
 		}
 	}
 	r.mu.Unlock()

@@ -255,7 +255,7 @@ func TestDirectTraceSurvivesUnrelatedMatrix(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.mu.Lock()
-	_, ok := r.traces["cholesky"]
+	_, ok := r.traces[traceKey{app: "cholesky", procs: r.Procs}]
 	r.mu.Unlock()
 	if !ok {
 		t.Fatal("matrix evicted a trace it never pinned")

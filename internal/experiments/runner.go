@@ -57,17 +57,25 @@ type Runner struct {
 	WrapSimulate func(app string, cfg config.Machine) func(err error)
 
 	mu      sync.Mutex
-	traces  map[string]*traceCell
+	traces  map[traceKey]*traceCell
 	results map[runKey]*resultCell
-	// tracePins counts outstanding matrix jobs per app; runAll pins
+	// tracePins counts outstanding matrix jobs per trace; runAll pins
 	// before dispatch and releases as jobs finish, evicting the cached
 	// trace at zero so driver runs don't retain every workload at once.
-	tracePins map[string]int
+	tracePins map[traceKey]int
 }
 
 type runKey struct {
 	app string
 	cfg config.Machine
+}
+
+// traceKey identifies a generated trace: scaled drivers run the same
+// workload at several machine sizes, and a trace is only valid for the
+// processor count it was generated for.
+type traceKey struct {
+	app   string
+	procs int
 }
 
 // traceCell and resultCell are singleflight slots: the first goroutine to
@@ -106,16 +114,16 @@ func (r *Runner) jobs() int {
 	return runtime.NumCPU()
 }
 
-func (r *Runner) traceCell(app string) *traceCell {
+func (r *Runner) traceCell(key traceKey) *traceCell {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.traces == nil {
-		r.traces = make(map[string]*traceCell)
+		r.traces = make(map[traceKey]*traceCell)
 	}
-	c, ok := r.traces[app]
+	c, ok := r.traces[key]
 	if !ok {
 		c = new(traceCell)
-		r.traces[app] = c
+		r.traces[key] = c
 	}
 	return c
 }
@@ -134,16 +142,23 @@ func (r *Runner) resultCell(key runKey) *resultCell {
 	return c
 }
 
-// Trace returns the (cached) reference trace of a workload.
+// Trace returns the (cached) reference trace of a workload at the
+// runner's machine size.
 func (r *Runner) Trace(app string) (*trace.Trace, error) {
-	c := r.traceCell(app)
+	return r.TraceAt(app, r.Procs)
+}
+
+// TraceAt returns the (cached) trace of a workload at an explicit
+// machine size (scaled drivers run several sizes through one runner).
+func (r *Runner) TraceAt(app string, procs int) (*trace.Trace, error) {
+	c := r.traceCell(traceKey{app: app, procs: procs})
 	c.once.Do(func() {
 		a, err := apps.ByName(app)
 		if err != nil {
 			c.err = err
 			return
 		}
-		c.tr = a.Generate(r.Procs)
+		c.tr = a.Generate(procs)
 	})
 	return c.tr, c.err
 }
@@ -166,7 +181,7 @@ func (r *Runner) Run(app string, cfg config.Machine) (*machine.Result, error) {
 
 // simulate executes one run (no caching; Run wraps it in a cell).
 func (r *Runner) simulate(app string, cfg config.Machine) (res *machine.Result, err error) {
-	tr, err := r.Trace(app)
+	tr, err := r.TraceAt(app, cfg.Procs)
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,16 @@ type SweepSpec struct {
 	DRAM         []float64
 	NC           []float64
 	Bus          []float64
+
+	// Topology applies one interconnect to every point: "" or "bus" is
+	// the snooping bus, "ring" the ring of clusters. Ring geometry and
+	// link latency follow the config.Machine conventions.
+	Topology      string
+	Clusters      int
+	LinkLatencyNs int
+	// ScalePressure holds the fractional memory pressure constant at
+	// non-paper machine sizes (see config.Machine.ScalePressure).
+	ScalePressure bool
 }
 
 // normalize fills defaulted dimensions.
@@ -61,6 +71,8 @@ type SweepRow struct {
 	MP            string
 	AMWays        int
 	DRAM, NC, Bus float64
+	Topology      string
+	Clusters      int
 
 	ExecNs                              int64
 	RNMr                                float64
@@ -86,6 +98,14 @@ func (r *Runner) Sweep(spec SweepSpec) ([]SweepRow, error) {
 								cfg.DRAMBandwidth = dram
 								cfg.NCBandwidth = nc
 								cfg.BusBandwidth = bus
+								cfg.Topology = spec.Topology
+								cfg.Clusters = spec.Clusters
+								cfg.LinkLatencyNs = spec.LinkLatencyNs
+								cfg.ScalePressure = spec.ScalePressure
+								topo := spec.Topology
+								if topo == "" {
+									topo = "bus"
+								}
 								jobs = append(jobs, job{app, cfg})
 								rows = append(rows, SweepRow{
 									App:          app,
@@ -95,6 +115,8 @@ func (r *Runner) Sweep(spec SweepSpec) ([]SweepRow, error) {
 									DRAM:         dram,
 									NC:           nc,
 									Bus:          bus,
+									Topology:     topo,
+									Clusters:     cfg.Clusters,
 								})
 							}
 						}
@@ -123,8 +145,8 @@ func (r *Runner) Sweep(spec SweepSpec) ([]SweepRow, error) {
 func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 	cw := csv.NewWriter(w)
 	header := []string{"app", "procs_per_node", "mp", "am_ways", "dram_bw",
-		"nc_bw", "bus_bw", "exec_ns", "rnmr", "bus_read_ns", "bus_write_ns",
-		"bus_replace_ns", "injects", "promotes"}
+		"nc_bw", "bus_bw", "topology", "clusters", "exec_ns", "rnmr",
+		"bus_read_ns", "bus_write_ns", "bus_replace_ns", "injects", "promotes"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -137,6 +159,8 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			fmt.Sprintf("%g", r.DRAM),
 			fmt.Sprintf("%g", r.NC),
 			fmt.Sprintf("%g", r.Bus),
+			r.Topology,
+			strconv.Itoa(r.Clusters),
 			strconv.FormatInt(r.ExecNs, 10),
 			strconv.FormatFloat(r.RNMr, 'f', 6, 64),
 			strconv.FormatInt(r.BusReadNs, 10),

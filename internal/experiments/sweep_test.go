@@ -52,7 +52,7 @@ func TestSweepAndCSV(t *testing.T) {
 		t.Fatalf("header %q", lines[0])
 	}
 	for _, l := range lines[1:] {
-		if got := len(strings.Split(l, ",")); got != 14 {
+		if got := len(strings.Split(l, ",")); got != 16 {
 			t.Fatalf("row has %d fields: %q", got, l)
 		}
 	}

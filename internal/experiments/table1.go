@@ -27,16 +27,16 @@ type Table1Row struct {
 // they are summarized instead of being retained all at once.
 func (r *Runner) Table1() ([]Table1Row, error) {
 	reg := apps.Registry
-	needs := make(map[string]int, len(reg))
+	needs := make(map[traceKey]int, len(reg))
 	for _, a := range reg {
-		needs[a.Name]++
+		needs[traceKey{app: a.Name, procs: r.Procs}]++
 	}
 	r.pinTraces(needs)
 	rows := make([]Table1Row, len(reg))
 	ran := make([]bool, len(reg))
 	err := r.forEach(len(reg), func(i int) error {
 		ran[i] = true
-		defer r.releaseTrace(reg[i].Name, 1)
+		defer r.releaseTrace(traceKey{app: reg[i].Name, procs: r.Procs}, 1)
 		a := reg[i]
 		tr, err := r.Trace(a.Name)
 		if err != nil {
@@ -57,7 +57,7 @@ func (r *Runner) Table1() ([]Table1Row, error) {
 	})
 	for i, ok := range ran {
 		if !ok {
-			r.releaseTrace(reg[i].Name, 1)
+			r.releaseTrace(traceKey{app: reg[i].Name, procs: r.Procs}, 1)
 		}
 	}
 	if err != nil {

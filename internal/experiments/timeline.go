@@ -89,7 +89,7 @@ func timelineSeries(tl *obs.Timeline) []struct {
 		busUtil[i] = tl.BusUtilization(i)
 		trans[i] = float64(tl.TransitionTotal(i))
 	}
-	return []struct {
+	series := []struct {
 		name string
 		vals []float64
 	}{
@@ -103,6 +103,15 @@ func timelineSeries(tl *obs.Timeline) []struct {
 		{"sync arrivals", f(tl.SyncArrivals)},
 		{"replacements", f(tl.Replacements)},
 	}
+	// Ring-link occupancy only exists on hierarchical topologies; bus
+	// timelines render exactly as before.
+	if link := f(tl.LinkNs); seriesMax(link) > 0 {
+		series = append(series[:1:1], append([]struct {
+			name string
+			vals []float64
+		}{{"link ns", link}}, series[1:]...)...)
+	}
+	return series
 }
 
 // seriesMax returns the maximum of a series (0 for empty).
@@ -146,10 +155,28 @@ func WriteTimeline(w io.Writer, rows []InspectRow) error {
 }
 
 // WriteTimelineCSV renders every window of every run as one flat CSV
-// row, raw (no downsampling).
+// row, raw (no downsampling). The link_ns column appears only when some
+// run saw ring-link occupancy, so bus-topology CSVs are byte-identical
+// to what they were before hierarchical topologies existed.
 func WriteTimelineCSV(w io.Writer, rows []InspectRow) error {
-	_, err := fmt.Fprintln(w, "app,cfg,window,start_ns,bus_read_ns,bus_write_ns,bus_replace_ns,bus_util,"+
-		"reads,writes,slc_misses,node_misses,transitions,wb_stall_ns,sync_arrivals,replacements")
+	withLink := false
+	for _, row := range rows {
+		tl := row.Res.Timeline
+		if tl == nil {
+			continue
+		}
+		for _, v := range tl.LinkNs {
+			if v != 0 {
+				withLink = true
+			}
+		}
+	}
+	linkHdr := ""
+	if withLink {
+		linkHdr = ",link_ns"
+	}
+	_, err := fmt.Fprintln(w, "app,cfg,window,start_ns,bus_read_ns,bus_write_ns,bus_replace_ns,bus_util"+linkHdr+
+		",reads,writes,slc_misses,node_misses,transitions,wb_stall_ns,sync_arrivals,replacements")
 	if err != nil {
 		return err
 	}
@@ -159,9 +186,13 @@ func WriteTimelineCSV(w io.Writer, rows []InspectRow) error {
 			continue
 		}
 		for i := 0; i < tl.Windows(); i++ {
-			_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			link := ""
+			if withLink {
+				link = fmt.Sprintf(",%d", tl.LinkNs[i])
+			}
+			_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.6f%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
 				row.App, row.Label, i, tl.StartNs(i),
-				tl.BusNs[0][i], tl.BusNs[1][i], tl.BusNs[2][i], tl.BusUtilization(i),
+				tl.BusNs[0][i], tl.BusNs[1][i], tl.BusNs[2][i], tl.BusUtilization(i), link,
 				tl.Reads[i], tl.Writes[i], tl.SLCMisses[i], tl.NodeMisses[i],
 				tl.TransitionTotal(i), tl.WBStallNs[i], tl.SyncArrivals[i], tl.Replacements[i])
 			if err != nil {

@@ -11,15 +11,22 @@ import (
 // tests call it to validate random-workload executions.
 //
 // Checked: the COMA protocol's global invariants (single owner, index/tag
-// agreement), and — on an inclusive hierarchy — that every line resident
-// in a private L1 or SLC is also resident in its node's attraction
-// memory, with dirty SLC lines backed by an Exclusive AM line.
+// agreement); on ring topologies the two-level directory's exactness
+// against the tag arrays (coma.Hierarchy.Check); and — on an inclusive
+// hierarchy — that every line resident in a private L1 or SLC is also
+// resident in its node's attraction memory, with dirty SLC lines backed
+// by an Exclusive AM line.
 func (m *Machine) CheckState() error {
 	if m.prot == nil {
 		return nil // non-COMA memory systems carry their own checks
 	}
 	if err := m.prot.CheckInvariants(); err != nil {
 		return err
+	}
+	if m.hier != nil {
+		if err := m.hier.Check(m.prot); err != nil {
+			return err
+		}
 	}
 	if !m.params.Inclusive {
 		return nil

@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"repro/internal/addrspace"
+	"repro/internal/coma"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Interconnect abstracts the global medium that joins the machine's nodes
+// below their attraction memories: arbitration, routing and occupancy
+// accounting. The timing model (charge and friends) is topology-blind; it
+// describes *what* must travel — a request to a known supplier, a data
+// reply, an address broadcast to the holders — and the interconnect
+// decides what that costs on its medium.
+//
+// Two implementations exist: busFabric, the paper's single snooping bus
+// (the reference — its transaction costs are bit-for-bit those of the
+// pre-abstraction machine), and ringFabric (ring.go), a unidirectional
+// ring of clusters with a two-level directory.
+//
+// Contract shared by all methods:
+//   - `at` is when the message is ready to leave its source; the return
+//     value is when it is available at its destination (for broadcasts:
+//     at the furthest holder).
+//   - Every method claims its occupancy on the fabric's engine.Resources,
+//     accounts traffic by class into the machine's occupancy counters and
+//     emits grant events (obs.KindBusGrant / obs.KindLinkGrant) when a
+//     sink is installed, so tracing sees every transaction on every
+//     topology.
+//   - `l` is the line the transaction concerns; address-interleaved
+//     directories route by it, the bus ignores it.
+type Interconnect interface {
+	// Kind names the topology ("bus", "ring").
+	Kind() string
+	// Request ships a coherence request from src to the known holder dst
+	// on the critical path (read fetch, read-exclusive fetch, ownership
+	// promotion). The returned time is the request's arrival at dst.
+	Request(src, dst int, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time
+	// Response ships the data reply of a request from supplier src back
+	// to requester dst. Occupancy is attributed to dst, the node whose
+	// access is being served, matching the bus machine's accounting.
+	Response(src, dst int, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time
+	// Broadcast ships an address-only notification (invalidation) from
+	// src to the holder set in mask (node bitmask, excluding src).
+	Broadcast(src int, mask uint64, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time
+	// DataBroadcast ships a data-carrying broadcast (update-policy write)
+	// from src to the holder set in mask.
+	DataBroadcast(src int, mask uint64, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time
+	// Inject ships a relocated data line from src to dst off the critical
+	// path (replacement injection, write-back); returns arrival at dst.
+	Inject(src, dst int, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time
+	// Resources lists the fabric's timing resources in reporting order.
+	Resources() []*engine.Resource
+	// Utilization is the fabric's mean resource utilization over dur ns.
+	Utilization(dur float64) float64
+	// Reset clears resource statistics (measured-section boundary).
+	Reset()
+}
+
+// Interconnect kind names, as used by Params.Topology and the config and
+// server layers.
+const (
+	TopologyBus  = "bus"
+	TopologyRing = "ring"
+)
+
+// busFabric is the paper's single snooping bus. Every transaction claims
+// the one global bus resource: one phase (DefaultBusPhase) for addresses
+// and request/response halves, two phases for combined address+data
+// transfers (injections, update broadcasts). Broadcasts reach every
+// snooper in the same phase, so mask and line are ignored.
+type busFabric struct {
+	m   *Machine
+	bus *engine.Resource
+}
+
+func newBusFabric(m *Machine) *busFabric {
+	return &busFabric{m: m, bus: engine.NewResource("bus")}
+}
+
+// claim is the single gateway to the bus: it claims occupancy, accounts
+// traffic by class and emits a bus-grant event when a sink is installed.
+func (b *busFabric) claim(node int, at, occ engine.Time, class coma.TxnClass) engine.Time {
+	m := b.m
+	start := b.bus.Claim(at, occ)
+	m.traffic(class, occ)
+	if m.rec.Enabled() {
+		m.rec.Emit(obs.Event{
+			Kind:  obs.KindBusGrant,
+			At:    int64(start),
+			Node:  int32(node),
+			Peer:  -1,
+			Class: uint8(class),
+			Dur:   int64(occ),
+		})
+	}
+	return start
+}
+
+func (b *busFabric) Kind() string { return TopologyBus }
+
+func (b *busFabric) Request(src, dst int, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	return b.claim(src, at, b.m.occBus, class) + DefaultBusPhase
+}
+
+func (b *busFabric) Response(src, dst int, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	return b.claim(dst, at, b.m.occBus, class) + DefaultBusPhase
+}
+
+func (b *busFabric) Broadcast(src int, mask uint64, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	return b.claim(src, at, b.m.occBus, class) + DefaultBusPhase
+}
+
+func (b *busFabric) DataBroadcast(src int, mask uint64, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	return b.claim(src, at, 2*b.m.occBus, class) + 2*DefaultBusPhase
+}
+
+func (b *busFabric) Inject(src, dst int, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	return b.claim(src, at, 2*b.m.occBus, class) + 2*DefaultBusPhase
+}
+
+func (b *busFabric) Resources() []*engine.Resource { return []*engine.Resource{b.bus} }
+
+func (b *busFabric) Utilization(dur float64) float64 {
+	return float64(b.bus.BusyTotal()) / dur
+}
+
+func (b *busFabric) Reset() { b.bus.Reset() }

@@ -112,7 +112,8 @@ type Machine struct {
 	params Params
 	prot   *coma.Protocol
 	mem    MemSystem
-	bus    *engine.Resource
+	ic     Interconnect
+	hier   *coma.Hierarchy
 	nodes  []*nodeRes
 	procs  []*proc
 	ready  procHeap
@@ -153,7 +154,6 @@ func NewWithMem(p Params, buildMem func(purge func(node int, l addrspace.Line, e
 	}
 	m := &Machine{
 		params:  p,
-		bus:     engine.NewResource("bus"),
 		locks:   make(map[uint32]*lockState),
 		occDRAM: occupancy(DefaultDRAMTime, p.DRAMBandwidth),
 		occNC:   occupancy(DefaultNCTime, p.NCBandwidth),
@@ -161,19 +161,35 @@ func NewWithMem(p Params, buildMem func(purge func(node int, l addrspace.Line, e
 	}
 	nodes := p.Nodes()
 	amSets := oddSets(p.AMBytesPerProc*p.ProcsPerNode, p.AMWays)
+	ring := p.Topology.Kind == TopologyRing
+	if ring && buildMem != nil {
+		return nil, fmt.Errorf("machine: ring topology requires the COMA memory system (its Txn holder masks drive ring routing)")
+	}
 	if buildMem == nil {
+		var transition func(node int, l addrspace.Line, from, to cache.State)
+		if ring {
+			perCluster := nodes / p.Topology.Clusters
+			m.hier = coma.NewHierarchy(nodes, p.Topology.Clusters, perCluster*amSets*p.AMWays)
+			transition = m.hier.OnTransition
+		}
 		m.prot = coma.NewProtocol(coma.Config{
-			Nodes:     nodes,
-			SetsPerAM: amSets,
-			Ways:      p.AMWays,
-			Policy:    p.Policy,
-			PolicySet: true,
-			Purge:     m.onPurge,
-			Downgrade: m.onDowngrade,
+			Nodes:      nodes,
+			SetsPerAM:  amSets,
+			Ways:       p.AMWays,
+			Policy:     p.Policy,
+			PolicySet:  true,
+			Purge:      m.onPurge,
+			Downgrade:  m.onDowngrade,
+			Transition: transition,
 		})
 		m.mem = comaMem{p: m.prot}
 	} else {
 		m.mem = buildMem(m.onPurge, m.onDowngrade)
+	}
+	if ring {
+		m.ic = newRingFabric(m, p)
+	} else {
+		m.ic = newBusFabric(m)
 	}
 	m.nodes = make([]*nodeRes, nodes)
 	for n := range m.nodes {
@@ -216,6 +232,13 @@ func (m *Machine) Release() {
 
 // Protocol exposes the protocol for tests and tools.
 func (m *Machine) Protocol() *coma.Protocol { return m.prot }
+
+// Interconnect exposes the fabric joining the nodes.
+func (m *Machine) Interconnect() Interconnect { return m.ic }
+
+// Hierarchy exposes the two-level directory, or nil on non-hierarchical
+// topologies.
+func (m *Machine) Hierarchy() *coma.Hierarchy { return m.hier }
 
 // SetSink installs an observability sink receiving machine-level events
 // (bus grants, write-buffer stalls, sync arrivals) and, when the COMA
@@ -495,14 +518,20 @@ func (m *Machine) chargeAsync(node int, eff coma.Effect, at engine.Time) {
 		return
 	}
 	for _, txn := range eff.Txns {
-		phases := engine.Time(1)
-		if txn.Data {
-			phases = 2
+		var arr engine.Time
+		switch {
+		case txn.Data && txn.Remote >= 0:
+			arr = m.ic.Inject(node, txn.Remote, txn.Line, at, txn.Class)
+		case txn.Data:
+			arr = m.ic.DataBroadcast(node, txn.Mask, txn.Line, at, txn.Class)
+		case txn.Remote >= 0:
+			arr = m.ic.Request(node, txn.Remote, txn.Line, at, txn.Class)
+		default:
+			arr = m.ic.Broadcast(node, txn.Mask, txn.Line, at, txn.Class)
 		}
-		start := m.claimBus(node, at, phases*m.occBus, txn.Class)
 		if txn.Remote >= 0 {
 			rn := m.nodes[txn.Remote]
-			s2 := rn.nc.Claim(start+phases*DefaultBusPhase, m.occNC)
+			s2 := rn.nc.Claim(arr, m.occNC)
 			rn.dram.Claim(s2+DefaultNCTime, m.occDRAM)
 		}
 	}
@@ -641,30 +670,26 @@ func (m *Machine) charge(node int, slcRes *engine.Resource, at engine.Time, eff 
 		switch {
 		case txn.Class == coma.TxnReplace:
 			// Replacements ride buffers off the critical path; they
-			// occupy the bus and the receiver's resources.
+			// occupy the interconnect and the receiver's resources.
 			m.chargeReplace(node, txn, t)
 		case txn.Data && txn.Remote < 0:
-			// Data broadcast (update-policy write): one bus transfer,
-			// absorbed by the snooping sharers.
+			// Data broadcast (update-policy write): one transfer,
+			// absorbed by the holders.
 			remote = true
-			start = m.claimBus(node, t, 2*m.occBus, txn.Class)
-			t = start + 2*DefaultBusPhase
+			t = m.ic.DataBroadcast(node, txn.Mask, txn.Line, t, txn.Class)
 		case txn.Data:
 			// Request/response data transfer on the critical path.
 			remote = true
-			start = m.claimBus(node, t, m.occBus, txn.Class)
-			t = start + DefaultBusPhase
+			t = m.ic.Request(node, txn.Remote, txn.Line, t, txn.Class)
 			rn := m.nodes[txn.Remote]
 			start = rn.nc.Claim(t, m.occNC)
 			t = start + DefaultNCTime
 			start = rn.dram.Claim(t, m.occDRAM)
 			t = start + DefaultDRAMTime
-			start = m.claimBus(node, t, m.occBus, txn.Class)
-			t = start + DefaultBusPhase
+			t = m.ic.Response(txn.Remote, node, txn.Line, t, txn.Class)
 		default:
 			// Address-only invalidation broadcast on the critical path.
-			start = m.claimBus(node, t, m.occBus, txn.Class)
-			t = start + DefaultBusPhase
+			t = m.ic.Broadcast(node, txn.Mask, txn.Line, t, txn.Class)
 		}
 	}
 	// Local DRAM: data read on a hit, line insertion on a fill, data
@@ -682,37 +707,18 @@ func (m *Machine) charge(node int, slcRes *engine.Resource, at engine.Time, eff 
 }
 
 // chargeReplace accounts a replacement transaction starting around time t:
-// injections move a data line (two bus phases, receiver NC + DRAM);
-// ownership promotions are a single address-only phase.
+// injections move a data line (an address+data transfer, receiver NC +
+// DRAM); ownership promotions are a single address-only request to the
+// heir.
 func (m *Machine) chargeReplace(node int, txn coma.Txn, t engine.Time) {
 	if !txn.Data {
-		m.claimBus(node, t, m.occBus, coma.TxnReplace)
+		m.ic.Request(node, txn.Remote, txn.Line, t, coma.TxnReplace)
 		return
 	}
-	start := m.claimBus(node, t, 2*m.occBus, coma.TxnReplace)
+	arr := m.ic.Inject(node, txn.Remote, txn.Line, t, coma.TxnReplace)
 	rn := m.nodes[txn.Remote]
-	start = rn.nc.Claim(start+2*DefaultBusPhase, m.occNC)
+	start := rn.nc.Claim(arr, m.occNC)
 	rn.dram.Claim(start+DefaultNCTime, m.occDRAM)
-}
-
-// claimBus is the single gateway to the global bus: it claims occupancy,
-// accounts traffic by class and emits a bus-grant event when a sink is
-// installed. All bus claims must go through it so tracing sees every
-// transaction.
-func (m *Machine) claimBus(node int, at, occ engine.Time, class coma.TxnClass) engine.Time {
-	start := m.bus.Claim(at, occ)
-	m.traffic(class, occ)
-	if m.rec.Enabled() {
-		m.rec.Emit(obs.Event{
-			Kind:  obs.KindBusGrant,
-			At:    int64(start),
-			Node:  int32(node),
-			Peer:  -1,
-			Class: uint8(class),
-			Dur:   int64(occ),
-		})
-	}
-	return start
 }
 
 func (m *Machine) traffic(c coma.TxnClass, occ engine.Time) {
@@ -876,7 +882,7 @@ func (m *Machine) beginMeasure(at engine.Time) {
 	m.dirtyPurges = 0
 	m.latency = LatencyHist{}
 	m.mem.ResetStats()
-	m.bus.Reset()
+	m.ic.Reset()
 	for _, n := range m.nodes {
 		n.nc.Reset()
 		n.dram.Reset()
@@ -901,7 +907,9 @@ func (m *Machine) result() *Result {
 	if m.sampler != nil {
 		res.Timeline = m.sampler.Timeline()
 	}
-	res.Resources = append(res.Resources, resUse(m.bus))
+	for _, r := range m.ic.Resources() {
+		res.Resources = append(res.Resources, resUse(r))
+	}
 	for _, nr := range m.nodes {
 		res.Resources = append(res.Resources, resUse(nr.nc), resUse(nr.dram))
 	}
@@ -917,7 +925,7 @@ func (m *Machine) result() *Result {
 	}
 	if res.ExecTime > 0 {
 		dur := float64(res.ExecTime)
-		res.BusUtilization = float64(m.bus.BusyTotal()) / dur
+		res.BusUtilization = m.ic.Utilization(dur)
 		res.NodeUtilization = make([]NodeUtil, len(m.nodes))
 		for n, nr := range m.nodes {
 			res.NodeUtilization[n] = NodeUtil{

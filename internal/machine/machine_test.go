@@ -296,7 +296,11 @@ func TestParamsValidate(t *testing.T) {
 	cases := []func(*Params){
 		func(p *Params) { p.Procs = 0 },
 		func(p *Params) { p.Procs = 3; p.ProcsPerNode = 2 },
-		func(p *Params) { p.Procs = 64 },
+		func(p *Params) { p.Procs = 130 }, // 65 nodes at ppn 2: over the bitmask limit
+		func(p *Params) { p.Topology = Topology{Kind: "mesh"} },
+		func(p *Params) { p.Topology = Topology{Kind: TopologyRing, Clusters: 3} }, // 2 nodes
+		func(p *Params) { p.Topology = Topology{Kind: TopologyRing, Clusters: 2, LinkLatency: -1} },
+		func(p *Params) { p.Topology = Topology{Kind: TopologyBus, Clusters: 4} },
 		func(p *Params) { p.L1Bytes = 1 },
 		func(p *Params) { p.SLCBytes = 1 },
 		func(p *Params) { p.AMWays = 0 },

@@ -72,6 +72,9 @@ func TestEventStreamConsistency(t *testing.T) {
 		t.Fatal("no events emitted")
 	}
 	for k := obs.KindBusGrant; int(k) < obs.NumKinds; k++ {
+		if k == obs.KindLinkGrant {
+			continue // a bus machine has no ring links
+		}
 		if count.Kinds[k] == 0 {
 			t.Errorf("no %s events from a workload with reads, writes, locks and barriers", k)
 		}

@@ -31,7 +31,34 @@ const (
 	// DefaultWriteBufferDepth is the release-consistency write buffer
 	// depth (paper: "a 10 entry write buffer").
 	DefaultWriteBufferDepth = 10
+
+	// Ring-topology timing (DESIGN.md §9). A ring hop costs the link's
+	// occupancy (DefaultLinkPhase per phase, like a bus phase) plus
+	// DefaultLinkLatency of pure traversal latency; a root-directory
+	// lookup costs one node-controller-class access.
+	DefaultLinkLatency engine.Time = 40
+	DefaultLinkPhase   engine.Time = 20
+	DefaultDirTime     engine.Time = 24
 )
+
+// Topology selects and parameterizes the machine's interconnect. The
+// zero value is the paper's single snooping bus.
+type Topology struct {
+	// Kind is TopologyBus ("" or "bus") or TopologyRing ("ring").
+	Kind string
+	// Clusters is the number of clusters on the ring; the machine's
+	// nodes are split into equal contiguous blocks, each keeping its own
+	// intra-cluster bus and shared attraction memories.
+	Clusters int
+	// LinkLatency is the per-hop traversal latency in nanoseconds added
+	// on top of link occupancy. Zero is honored (the cross-topology
+	// equivalence configuration); the config layer supplies
+	// DefaultLinkLatency when unspecified.
+	LinkLatency engine.Time
+	// LinkBandwidth divides link occupancy (1.0 = one DefaultLinkPhase
+	// per address phase); 0 means 1.0.
+	LinkBandwidth float64
+}
 
 // Params configures one machine instance.
 type Params struct {
@@ -81,6 +108,10 @@ type Params struct {
 	// acquisition — the extension benchmark BenchmarkAblationLocks
 	// measures the difference.
 	SpinLocks bool
+
+	// Topology selects the interconnect joining the nodes; the zero
+	// value is the paper's snooping bus.
+	Topology Topology
 }
 
 // DefaultParams returns the paper's baseline machine for the given
@@ -110,8 +141,27 @@ func (p Params) Validate() error {
 	if p.ProcsPerNode <= 0 || p.Procs%p.ProcsPerNode != 0 {
 		return fmt.Errorf("machine: %d procs not divisible into nodes of %d", p.Procs, p.ProcsPerNode)
 	}
-	if p.Procs > 32 {
-		return fmt.Errorf("machine: %d procs exceeds the 32-processor bitmask limit", p.Procs)
+	if p.Nodes() > 64 {
+		return fmt.Errorf("machine: %d nodes exceeds the 64-node bitmask limit", p.Nodes())
+	}
+	switch p.Topology.Kind {
+	case "", TopologyBus:
+		if p.Topology.Clusters > 1 {
+			return fmt.Errorf("machine: bus topology with %d clusters", p.Topology.Clusters)
+		}
+	case TopologyRing:
+		c := p.Topology.Clusters
+		if c < 1 || p.Nodes()%c != 0 {
+			return fmt.Errorf("machine: %d nodes not divisible into %d ring clusters", p.Nodes(), c)
+		}
+		if p.Topology.LinkLatency < 0 {
+			return fmt.Errorf("machine: negative link latency %d", p.Topology.LinkLatency)
+		}
+		if p.Topology.LinkBandwidth < 0 {
+			return fmt.Errorf("machine: negative link bandwidth %g", p.Topology.LinkBandwidth)
+		}
+	default:
+		return fmt.Errorf("machine: unknown topology %q", p.Topology.Kind)
 	}
 	if p.L1Bytes < addrspace.LineSize {
 		return fmt.Errorf("machine: L1Bytes = %d", p.L1Bytes)

@@ -1,0 +1,254 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/coma"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// ringFabric is the hierarchical interconnect: the machine's nodes are
+// grouped into equal contiguous clusters, each cluster keeps its own
+// snooping bus (the paper's cluster model scaled out), and the clusters
+// are joined by a unidirectional point-to-point ring. Inter-cluster
+// traffic traverses the ring hop-by-hop — every hop claims that link's
+// occupancy and adds the configured per-link latency — instead of a
+// single global broadcast.
+//
+// Routing follows the two-level directory (coma.Hierarchy): a request
+// that leaves its cluster first travels to the line's root cluster
+// (address-interleaved: line mod clusters), pays a directory lookup
+// there, then continues around the ring to the holder's cluster. Data
+// replies and injections travel src -> dst directly (the reply already
+// knows its destination; no directory hop). Broadcasts ride the ring
+// only as far as the furthest holder cluster, claiming each holder
+// cluster's bus on the way past — the Txn.Mask the protocol records is
+// what makes the holder set known without snooping the whole machine.
+//
+// Phase conventions mirror the flat bus exactly so a 1-cluster ring with
+// zero link latency is timing-identical to busFabric (the cross-topology
+// equivalence test in internal/experiments leans on this): one cluster-bus
+// phase for addresses and request/response halves, two for combined
+// address+data transfers. Link occupancy follows the message payload: one
+// link phase for address-only messages, two for data-carrying ones.
+type ringFabric struct {
+	m        *Machine
+	clusters int
+	perClust int
+	linkLat  engine.Time // extra per-hop traversal latency
+	occBus   engine.Time // one cluster-bus phase (bandwidth-scaled)
+	occLink  engine.Time // one link phase (bandwidth-scaled)
+	occDir   engine.Time // one directory lookup (bandwidth-scaled)
+
+	cbus  []*engine.Resource // per-cluster snooping bus
+	links []*engine.Resource // links[c]: cluster c -> (c+1) mod clusters
+	dirs  []*engine.Resource // per-cluster root-directory slice controller
+
+	// nodeBits[c] is the node bitmask of cluster c, for mapping the
+	// protocol's holder masks onto holder clusters.
+	nodeBits []uint64
+	res      []*engine.Resource
+}
+
+func newRingFabric(m *Machine, p Params) *ringFabric {
+	t := p.Topology
+	nodes := p.Nodes()
+	r := &ringFabric{
+		m:        m,
+		clusters: t.Clusters,
+		perClust: nodes / t.Clusters,
+		linkLat:  t.LinkLatency,
+		occBus:   m.occBus,
+		occLink:  occupancy(DefaultLinkPhase, defaultBW(t.LinkBandwidth)),
+		occDir:   occupancy(DefaultDirTime, p.NCBandwidth),
+	}
+	r.cbus = make([]*engine.Resource, r.clusters)
+	r.links = make([]*engine.Resource, r.clusters)
+	r.dirs = make([]*engine.Resource, r.clusters)
+	r.nodeBits = make([]uint64, r.clusters)
+	for c := 0; c < r.clusters; c++ {
+		r.cbus[c] = engine.NewResource(fmt.Sprintf("cbus%d", c))
+		r.links[c] = engine.NewResource(fmt.Sprintf("link%d", c))
+		r.dirs[c] = engine.NewResource(fmt.Sprintf("dir%d", c))
+		bits := ^uint64(0)
+		if r.perClust < 64 {
+			bits = 1<<uint(r.perClust) - 1
+		}
+		r.nodeBits[c] = bits << uint(c*r.perClust)
+	}
+	r.res = make([]*engine.Resource, 0, 3*r.clusters)
+	r.res = append(r.res, r.cbus...)
+	r.res = append(r.res, r.links...)
+	r.res = append(r.res, r.dirs...)
+	return r
+}
+
+func defaultBW(bw float64) float64 {
+	if bw == 0 {
+		return 1
+	}
+	return bw
+}
+
+func (r *ringFabric) Kind() string { return TopologyRing }
+
+func (r *ringFabric) cluster(node int) int { return node / r.perClust }
+
+// rootOf address-interleaves the root directory across the clusters.
+func (r *ringFabric) rootOf(l addrspace.Line) int {
+	return int(uint64(l) % uint64(r.clusters))
+}
+
+// dist is the (unidirectional) hop count from cluster a to cluster b.
+func (r *ringFabric) dist(a, b int) int {
+	return (b - a + r.clusters) % r.clusters
+}
+
+// busPhase arbitrates cluster c's bus for `phases` phases on behalf of
+// the initiating node, returning the completion time.
+func (r *ringFabric) busPhase(c, node int, phases, at engine.Time, class coma.TxnClass) engine.Time {
+	m := r.m
+	occ := phases * r.occBus
+	start := r.cbus[c].Claim(at, occ)
+	m.traffic(class, occ)
+	if m.rec.Enabled() {
+		m.rec.Emit(obs.Event{
+			Kind:  obs.KindBusGrant,
+			At:    int64(start),
+			Node:  int32(node),
+			Peer:  int32(c),
+			Class: uint8(class),
+			Dur:   int64(occ),
+		})
+	}
+	return start + phases*DefaultBusPhase
+}
+
+// hop claims the link out of cluster c and returns when the message is
+// available at cluster (c+1) mod clusters.
+func (r *ringFabric) hop(c, node int, phases, at engine.Time, class coma.TxnClass) engine.Time {
+	m := r.m
+	occ := phases * r.occLink
+	start := r.links[c].Claim(at, occ)
+	m.traffic(class, occ)
+	if m.rec.Enabled() {
+		m.rec.Emit(obs.Event{
+			Kind:  obs.KindLinkGrant,
+			At:    int64(start),
+			Node:  int32(node),
+			Peer:  int32(c),
+			Class: uint8(class),
+			Dur:   int64(occ),
+		})
+	}
+	return start + phases*DefaultLinkPhase + r.linkLat
+}
+
+// travel rides the ring from cluster a to cluster b hop-by-hop.
+func (r *ringFabric) travel(a, b, node int, phases, at engine.Time, class coma.TxnClass) engine.Time {
+	t := at
+	for c := a; c != b; c = (c + 1) % r.clusters {
+		t = r.hop(c, node, phases, t, class)
+	}
+	return t
+}
+
+// dirLookup pays cluster c's root-directory slice access.
+func (r *ringFabric) dirLookup(c int, at engine.Time) engine.Time {
+	start := r.dirs[c].Claim(at, r.occDir)
+	return start + DefaultDirTime
+}
+
+func (r *ringFabric) Request(src, dst int, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	cs, cd := r.cluster(src), r.cluster(dst)
+	t := r.busPhase(cs, src, 1, at, class)
+	if cs == cd {
+		return t
+	}
+	root := r.rootOf(l)
+	t = r.travel(cs, root, src, 1, t, class)
+	t = r.dirLookup(root, t)
+	t = r.travel(root, cd, src, 1, t, class)
+	return r.busPhase(cd, src, 1, t, class)
+}
+
+func (r *ringFabric) Response(src, dst int, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	cs, cd := r.cluster(src), r.cluster(dst)
+	if cs == cd {
+		return r.busPhase(cd, dst, 1, at, class)
+	}
+	t := r.busPhase(cs, dst, 1, at, class)
+	t = r.travel(cs, cd, dst, 2, t, class)
+	return r.busPhase(cd, dst, 1, t, class)
+}
+
+// ringBroadcast is the shared walk of Broadcast and DataBroadcast: claim
+// the source cluster's bus, then ride the ring to the furthest holder
+// cluster, claiming each holder cluster's bus on the way past.
+func (r *ringFabric) ringBroadcast(src int, mask uint64, phases, at engine.Time, class coma.TxnClass) engine.Time {
+	cs := r.cluster(src)
+	t := r.busPhase(cs, src, phases, at, class)
+	var cmask uint64
+	for c := 0; c < r.clusters; c++ {
+		if mask&r.nodeBits[c] != 0 {
+			cmask |= 1 << uint(c)
+		}
+	}
+	cmask &^= 1 << uint(cs)
+	if cmask == 0 {
+		return t
+	}
+	maxd := 0
+	for c := 0; c < r.clusters; c++ {
+		if cmask&(1<<uint(c)) != 0 {
+			if d := r.dist(cs, c); d > maxd {
+				maxd = d
+			}
+		}
+	}
+	c := cs
+	for i := 0; i < maxd; i++ {
+		t = r.hop(c, src, phases, t, class)
+		c = (c + 1) % r.clusters
+		if cmask&(1<<uint(c)) != 0 {
+			t = r.busPhase(c, src, phases, t, class)
+		}
+	}
+	return t
+}
+
+func (r *ringFabric) Broadcast(src int, mask uint64, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	return r.ringBroadcast(src, mask, 1, at, class)
+}
+
+func (r *ringFabric) DataBroadcast(src int, mask uint64, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	return r.ringBroadcast(src, mask, 2, at, class)
+}
+
+func (r *ringFabric) Inject(src, dst int, l addrspace.Line, at engine.Time, class coma.TxnClass) engine.Time {
+	cs, cd := r.cluster(src), r.cluster(dst)
+	t := r.busPhase(cs, src, 2, at, class)
+	if cs == cd {
+		return t
+	}
+	t = r.travel(cs, cd, src, 2, t, class)
+	return r.busPhase(cd, src, 2, t, class)
+}
+
+func (r *ringFabric) Resources() []*engine.Resource { return r.res }
+
+func (r *ringFabric) Utilization(dur float64) float64 {
+	var busy float64
+	for _, res := range r.res {
+		busy += float64(res.BusyTotal())
+	}
+	return busy / (dur * float64(len(r.res)))
+}
+
+func (r *ringFabric) Reset() {
+	for _, res := range r.res {
+		res.Reset()
+	}
+}

@@ -25,6 +25,11 @@ const (
 	// KindSyncArrive: a processor arrived at a synchronization point.
 	// Class is a SyncKind, Line the barrier/lock id, Node the processor.
 	KindSyncArrive
+	// KindLinkGrant: a ring link granted a message (hierarchical
+	// topologies only). Node is the initiating node, Peer the link index
+	// (link i joins cluster i to cluster i+1), Class the coma.TxnClass,
+	// At the service start and Dur the link occupancy.
+	KindLinkGrant
 
 	numKinds
 )
@@ -45,6 +50,8 @@ func (k Kind) String() string {
 		return "wb-stall"
 	case KindSyncArrive:
 		return "sync-arrive"
+	case KindLinkGrant:
+		return "link-grant"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

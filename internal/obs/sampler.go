@@ -39,6 +39,9 @@ type Timeline struct {
 	// Transitions[i*16 + from*4 + to] counts AM state transitions in
 	// window i (states are the coma package's I=0, S=1, O=2, E=3).
 	Transitions []int64
+	// LinkNs[i] is ring-link occupancy granted in window i, summed over
+	// classes (all zeros on the bus topology).
+	LinkNs []int64
 	// WBStallNs[i] is write-buffer back-pressure time charged in window i.
 	WBStallNs []int64
 	// SyncArrivals[i] counts barrier/lock-wait arrivals in window i.
@@ -86,6 +89,7 @@ func (t *Timeline) TransitionsFrom(i int, from int) int64 {
 // window is the current accumulator; flush appends it to the timeline.
 type window struct {
 	bus        [3]int64
+	link       int64
 	reads      int64
 	writes     int64
 	slcMisses  int64
@@ -133,6 +137,7 @@ func (s *Sampler) flush() {
 	for cl := 0; cl < 3; cl++ {
 		s.tl.BusNs[cl] = append(s.tl.BusNs[cl], c.bus[cl])
 	}
+	s.tl.LinkNs = append(s.tl.LinkNs, c.link)
 	s.tl.Reads = append(s.tl.Reads, c.reads)
 	s.tl.Writes = append(s.tl.Writes, c.writes)
 	s.tl.SLCMisses = append(s.tl.SLCMisses, c.slcMisses)
@@ -153,6 +158,8 @@ func (s *Sampler) Emit(e Event) {
 		if e.Class < 3 {
 			s.cur.bus[e.Class] += e.Dur
 		}
+	case KindLinkGrant:
+		s.cur.link += e.Dur
 	case KindTransition:
 		if e.From < 4 && e.To < 4 {
 			s.cur.trans[int(e.From)*4+int(e.To)]++

@@ -14,8 +14,12 @@ type Counting struct {
 	// Transitions[from][to] counts AM state transitions (states are the
 	// coma package's I=0, S=1, O=2, E=3).
 	Transitions [4][4]int64
-	// BusOccNs accumulates bus occupancy per transaction class.
+	// BusOccNs accumulates bus occupancy per transaction class (cluster
+	// buses included on hierarchical topologies).
 	BusOccNs [3]int64
+	// LinkOccNs accumulates ring-link occupancy per transaction class
+	// (always zero on the bus topology).
+	LinkOccNs [3]int64
 	// WBStallNs accumulates write-buffer back-pressure time.
 	WBStallNs int64
 }
@@ -31,6 +35,10 @@ func (c *Counting) Emit(e Event) {
 	case KindBusGrant:
 		if e.Class < 3 {
 			c.BusOccNs[e.Class] += e.Dur
+		}
+	case KindLinkGrant:
+		if e.Class < 3 {
+			c.LinkOccNs[e.Class] += e.Dur
 		}
 	case KindWBStall:
 		c.WBStallNs += e.Dur

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/machine"
 	"repro/internal/server/store"
 )
 
@@ -14,7 +15,10 @@ import (
 // by an incompatible request or response schema can never be served from
 // the store. Bump it together with intended timing-model or rendering
 // changes (the same events that regenerate the CLI goldens).
-const schemaVersion = 1
+//
+// v2: topology request fields (ring-of-clusters interconnect) and the
+// widened Timeline (link occupancy series).
+const schemaVersion = 2
 
 // SimRequest is the body of POST /v1/simulate: one (workload, machine
 // configuration) run. Zero fields take the paper's defaults, mirroring
@@ -40,6 +44,21 @@ type SimRequest struct {
 	Inclusive *bool `json:"inclusive,omitempty"`
 	// WriteUpdate selects the write-update protocol ablation.
 	WriteUpdate bool `json:"write_update,omitempty"`
+	// Topology selects the interconnect: "bus" (default) or "ring".
+	Topology string `json:"topology,omitempty"`
+	// Clusters is the ring's cluster count (default: one cluster per
+	// node). Only valid with topology "ring".
+	Clusters int `json:"clusters,omitempty"`
+	// LinkLatencyNs is the per-hop ring-link latency in nanoseconds:
+	// 0 selects the default (40), -1 means explicitly zero. Only valid
+	// with topology "ring".
+	LinkLatencyNs int `json:"link_latency_ns,omitempty"`
+	// LinkBandwidth divides ring-link occupancy (default 1.0). Only
+	// valid with topology "ring".
+	LinkBandwidth float64 `json:"link_bw,omitempty"`
+	// ScalePressure reinterprets the MP fraction against this machine's
+	// processor count instead of the paper's 16 (scaled sweeps).
+	ScalePressure bool `json:"scale_pressure,omitempty"`
 }
 
 // canonSim is the canonical (fully defaulted) form that is hashed into
@@ -58,6 +77,11 @@ type canonSim struct {
 	Bus          float64 `json:"bus_bw"`
 	Inclusive    bool    `json:"inclusive"`
 	WriteUpdate  bool    `json:"write_update"`
+	Topology     string  `json:"topology"`
+	Clusters     int     `json:"clusters"`
+	LinkLatency  int     `json:"link_latency_ns"`
+	LinkBW       float64 `json:"link_bw"`
+	ScaleMP      bool    `json:"scale_pressure"`
 }
 
 // normalize validates the request, fills defaults in place, and returns
@@ -101,6 +125,38 @@ func (r *SimRequest) normalize() (config.Machine, error) {
 		t := true
 		r.Inclusive = &t
 	}
+	switch r.Topology {
+	case "":
+		r.Topology = "bus"
+	case "bus", "ring":
+	default:
+		return config.Machine{}, fmt.Errorf("unknown topology %q (known: bus, ring)", r.Topology)
+	}
+	if r.Topology == "bus" {
+		if r.Clusters != 0 || r.LinkLatencyNs != 0 || r.LinkBandwidth != 0 {
+			return config.Machine{}, fmt.Errorf("clusters, link_latency_ns and link_bw are only valid with topology \"ring\"")
+		}
+	} else {
+		nodes := r.Procs / r.ProcsPerNode
+		if r.Clusters == 0 {
+			r.Clusters = nodes
+		}
+		if r.Clusters < 1 || nodes%r.Clusters != 0 {
+			return config.Machine{}, fmt.Errorf("%d nodes not divisible into %d ring clusters", nodes, r.Clusters)
+		}
+		if r.LinkLatencyNs == 0 {
+			r.LinkLatencyNs = int(machine.DefaultLinkLatency)
+		}
+		if r.LinkLatencyNs < -1 {
+			return config.Machine{}, fmt.Errorf("link_latency_ns must be >= -1 (-1 means zero)")
+		}
+		if r.LinkBandwidth == 0 {
+			r.LinkBandwidth = 1
+		}
+		if r.LinkBandwidth < 0 {
+			return config.Machine{}, fmt.Errorf("link_bw must be positive")
+		}
+	}
 	cfg := config.Baseline(r.ProcsPerNode, mp)
 	cfg.Procs = r.Procs
 	cfg.AMWays = r.AMWays
@@ -109,6 +165,13 @@ func (r *SimRequest) normalize() (config.Machine, error) {
 	cfg.BusBandwidth = r.BusBandwidth
 	cfg.Inclusive = *r.Inclusive
 	cfg.Policy.WriteUpdate = r.WriteUpdate
+	cfg.ScalePressure = r.ScalePressure
+	if r.Topology == "ring" {
+		cfg.Topology = "ring"
+		cfg.Clusters = r.Clusters
+		cfg.LinkLatencyNs = r.LinkLatencyNs
+		cfg.LinkBandwidth = r.LinkBandwidth
+	}
 	return cfg, nil
 }
 
@@ -119,6 +182,9 @@ func (r *SimRequest) key() store.Key {
 		App: r.App, Procs: r.Procs, ProcsPerNode: r.ProcsPerNode, MP: r.MP,
 		AMWays: r.AMWays, DRAM: r.DRAMBandwidth, NC: r.NCBandwidth,
 		Bus: r.BusBandwidth, Inclusive: *r.Inclusive, WriteUpdate: r.WriteUpdate,
+		Topology: r.Topology, Clusters: r.Clusters,
+		LinkLatency: r.LinkLatencyNs, LinkBW: r.LinkBandwidth,
+		ScaleMP: r.ScalePressure,
 	}
 	b, err := json.Marshal(c)
 	if err != nil {

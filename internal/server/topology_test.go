@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// ringSim is the /v1/simulate leg of the scaled-study acceptance: the
+// Figure2Scaled operating point (64 processors, ring of 16 clusters,
+// pressure scaled to this machine) expressed as an API request.
+func ringSim() SimRequest {
+	return SimRequest{App: "fft", Procs: 64, ProcsPerNode: 2, MP: "50%",
+		Topology: "ring", Clusters: 16, ScalePressure: true}
+}
+
+// A 64-processor ring request simulates end-to-end, round-trips through
+// the content-addressed store, and hashes to a different address than
+// its bus twin (same workload, same size, flat topology).
+func TestSimulateRingTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-processor simulation in -short mode")
+	}
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	res1, env1, err := c.Simulate(ctx, ringSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env1.Cached {
+		t.Fatal("first ring request reported cached")
+	}
+	if res1.ExecTimeNs <= 0 {
+		t.Fatalf("ring exec_time_ns = %d, want > 0", res1.ExecTimeNs)
+	}
+
+	res2, env2, err := c.Simulate(ctx, ringSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env2.Cached || env2.Key != env1.Key {
+		t.Fatalf("repeat not served from store (cached=%v, key %s vs %s)",
+			env2.Cached, env2.Key, env1.Key)
+	}
+	if res2 != res1 {
+		t.Fatalf("cached ring result differs:\n%+v\n%+v", res1, res2)
+	}
+
+	bus := ringSim()
+	bus.Topology = ""
+	bus.Clusters = 0
+	_, busEnv, err := c.Simulate(ctx, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busEnv.Key == env1.Key {
+		t.Fatal("bus twin hashed to the ring's content address")
+	}
+}
+
+// Equivalent ring spellings (topology defaults omitted vs spelled out)
+// share one content address, like the flat-topology fields.
+func TestRingCanonicalizationConverges(t *testing.T) {
+	implicit := SimRequest{App: "fft", Procs: 8, MP: "6%", Topology: "ring"}
+	tr := true
+	explicit := SimRequest{App: "fft", Procs: 8, ProcsPerNode: 1, MP: "6%",
+		AMWays: 4, DRAMBandwidth: 1, NCBandwidth: 1, BusBandwidth: 1, Inclusive: &tr,
+		Topology: "ring", Clusters: 8, LinkLatencyNs: 40, LinkBandwidth: 1}
+	if _, err := implicit.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := explicit.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if implicit.key() != explicit.key() {
+		t.Fatal("defaulted and explicit ring requests hash to different keys")
+	}
+}
+
+// Invalid topology spellings are rejected with 400s: unknown kinds,
+// ring-only fields on the bus, indivisible cluster counts, and
+// out-of-range link latencies.
+func TestBadTopologyRequests(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	cases := []string{
+		`{"app":"fft","topology":"mesh"}`,
+		`{"app":"fft","clusters":4}`,
+		`{"app":"fft","link_latency_ns":40}`,
+		`{"app":"fft","topology":"bus","link_bw":2}`,
+		`{"app":"fft","procs":16,"topology":"ring","clusters":5}`,
+		`{"app":"fft","topology":"ring","link_latency_ns":-2}`,
+		`{"app":"fft","topology":"ring","link_bw":-1}`,
+	}
+	for _, body := range cases {
+		resp, err := http.Post(c.Base+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST /v1/simulate %s: HTTP %d, want %d", body, resp.StatusCode, http.StatusBadRequest)
+		}
+	}
+}
