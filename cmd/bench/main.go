@@ -63,8 +63,15 @@ type Entry struct {
 	Quick  bool   `json:"quick"`
 	Iters  int    `json:"iters"`
 	Note   string `json:"note,omitempty"`
-	Totals Totals `json:"totals"`
-	Runs   []Run  `json:"runs"`
+	// Fidelity is "sampled" when the matrix ran under SMARTS-style
+	// sampled fast-forward; empty for exact entries (the default).
+	Fidelity string `json:"fidelity,omitempty"`
+	// SpeedupVsExact is the wall-clock ratio of the exact twin of each
+	// cell to the sampled run (best-of-iters on both sides); only set on
+	// sampled entries.
+	SpeedupVsExact float64 `json:"speedup_vs_exact,omitempty"`
+	Totals         Totals  `json:"totals"`
+	Runs           []Run   `json:"runs"`
 }
 
 // File is the BENCH_results.json layout.
@@ -82,7 +89,18 @@ func main() {
 	procs := flag.Int("procs", 0, "machine size (default 16, or 8 with -quick)")
 	iters := flag.Int("iters", 0, "timed iterations per cell, best taken (default 3, or 1 with -quick)")
 	note := flag.String("note", "", "free-form note stored with the entry")
+	fidelity := flag.String("fidelity", "exact",
+		"execution fidelity: exact, or sampled (times the exact twin of every cell too and records speedup_vs_exact)")
 	flag.Parse()
+
+	sampled := false
+	switch *fidelity {
+	case "", machine.FidelityExact:
+	case machine.FidelitySampled:
+		sampled = true
+	default:
+		flags.Check("bench", fmt.Errorf("unknown fidelity %q (known: exact, sampled)", *fidelity))
+	}
 
 	if *procs == 0 {
 		*procs = 16
@@ -101,7 +119,7 @@ func main() {
 		ppns = []int{1, 4}
 	}
 
-	entry, err := benchMatrix(*procs, *iters, ppns)
+	entry, err := benchMatrix(*procs, *iters, ppns, sampled)
 	flags.Check("bench", err)
 	entry.Label = *label
 	entry.Quick = *quick
@@ -112,19 +130,25 @@ func main() {
 	fmt.Printf("wrote %s entry %q: %.1f ns/ref, %.3g refs/sec, %.0f allocs/run, peak RSS %d MiB\n",
 		*out, entry.Label, entry.Totals.NsPerRef, entry.Totals.RefsPerSec,
 		entry.Totals.AllocsPerRun, entry.Totals.PeakRSSBytes>>20)
+	if sampled {
+		fmt.Printf("sampled fidelity: %.2fx wall-clock speedup vs the exact twin matrix\n", entry.SpeedupVsExact)
+	}
 }
 
 // benchMatrix times every cell of the Figure 2 matrix: each run builds a
 // fresh machine and simulates the full trace, so the numbers cover the
 // whole per-run path (construction, simulation, result extraction).
-func benchMatrix(procs, iters int, ppns []int) (Entry, error) {
+func benchMatrix(procs, iters int, ppns []int, sampled bool) (Entry, error) {
 	entry := Entry{
 		Go:     runtime.Version(),
 		NumCPU: runtime.NumCPU(),
 		Procs:  procs,
 		Iters:  iters,
 	}
-	var totalNs, totalRefs, totalAllocs int64
+	if sampled {
+		entry.Fidelity = machine.FidelitySampled
+	}
+	var totalNs, totalRefs, totalAllocs, totalExactNs int64
 	for _, a := range apps.Registry {
 		tr := a.Generate(procs)
 		s := tr.Summarize()
@@ -132,19 +156,19 @@ func benchMatrix(procs, iters int, ppns []int) (Entry, error) {
 		for _, ppn := range ppns {
 			cfg := config.Baseline(ppn, config.MP6)
 			cfg.Procs = procs
-			var best int64 = -1
-			var allocs int64
-			for it := 0; it < iters; it++ {
-				ns, al, err := timeRun(a.Name, cfg, tr)
+			if sampled {
+				// Time the exact twin first so the entry carries a measured
+				// speedup, not one extrapolated from an old baseline.
+				exact, _, err := bestOf(iters, a.Name, cfg, tr)
 				if err != nil {
 					return entry, err
 				}
-				if best < 0 || ns < best {
-					best = ns
-				}
-				if it == 0 || al < allocs {
-					allocs = al
-				}
+				totalExactNs += exact
+				cfg.Fidelity = config.Fidelity{Mode: machine.FidelitySampled}
+			}
+			best, allocs, err := bestOf(iters, a.Name, cfg, tr)
+			if err != nil {
+				return entry, err
 			}
 			entry.Runs = append(entry.Runs, Run{
 				App: a.Name, PPN: ppn, MP: cfg.Pressure.Label,
@@ -165,7 +189,30 @@ func benchMatrix(procs, iters int, ppns []int) (Entry, error) {
 		AllocsPerRun: float64(totalAllocs) / float64(len(entry.Runs)),
 		PeakRSSBytes: peakRSS(),
 	}
+	if sampled && totalNs > 0 {
+		entry.SpeedupVsExact = float64(totalExactNs) / float64(totalNs)
+	}
 	return entry, nil
+}
+
+// bestOf runs one cell iters times and keeps the fastest wall clock and
+// the lowest allocation count.
+func bestOf(iters int, app string, cfg config.Machine, tr *trace.Trace) (int64, int64, error) {
+	var best int64 = -1
+	var allocs int64
+	for it := 0; it < iters; it++ {
+		ns, al, err := timeRun(app, cfg, tr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if best < 0 || ns < best {
+			best = ns
+		}
+		if it == 0 || al < allocs {
+			allocs = al
+		}
+	}
+	return best, allocs, nil
 }
 
 // timeRun measures one fresh-machine simulation: wall nanoseconds and

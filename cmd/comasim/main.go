@@ -25,6 +25,7 @@ func main() {
 	inclusive := flag.Bool("inclusive", true, "inclusive cache hierarchy")
 	numa := flag.Bool("numa", false, "run the CC-NUMA baseline machine instead of COMA")
 	update := flag.Bool("write-update", false, "write-update protocol instead of invalidation")
+	fidelity := flags.Fidelity()
 	flag.Parse()
 
 	if *list {
@@ -51,8 +52,12 @@ func main() {
 	cfg.BusBandwidth = *busBW
 	cfg.Inclusive = *inclusive
 	cfg.Policy.WriteUpdate = *update
+	cfg.Fidelity = fidelity()
 	run := core.Run
 	if *numa {
+		if cfg.Fidelity.Sampled() {
+			fatal(fmt.Errorf("sampled fidelity is not implemented for the CC-NUMA baseline machine"))
+		}
 		run = core.RunNUMA
 	}
 	res, err := run(tr, cfg)
@@ -85,6 +90,11 @@ func main() {
 	fmt.Printf("read latency      median<=%dns p99<=%dns  [%s]\n",
 		res.ReadLatency.Quantile(0.5), res.ReadLatency.Quantile(0.99), &res.ReadLatency)
 	fmt.Printf("load imbalance    %.3f (slowest processor / mean finish)\n", res.Imbalance())
+	if rep := res.Fidelity; rep != nil {
+		fmt.Printf("fidelity          sampled %d/%d/%dns: %d windows, %.1f%% detailed, lambda=%.2f (exec-time RSE %.1f%%)\n",
+			rep.WarmupNs, rep.WindowNs, rep.PeriodNs, rep.Windows,
+			100*rep.Coverage, rep.Lambda, 100*rep.Confidence.ExecTime)
+	}
 }
 
 func fatal(err error) {

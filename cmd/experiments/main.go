@@ -24,6 +24,7 @@ func main() {
 	only := flag.String("only", "", "run a single artifact (table1, fig2..fig5, sens-*, thresholds, fig2scaled)")
 	chart := flag.Bool("chart", false, "render figures 3-5 as stacked bar charts")
 	procs := flags.Procs(16)
+	fidelity := flags.Fidelity()
 	verbose := flags.Verbose()
 	jobs := flags.Jobs()
 	cpuprofile, memprofile := flags.Profiles()
@@ -36,6 +37,7 @@ func main() {
 	r := experiments.NewRunner()
 	r.Procs = *procs
 	r.Jobs = *jobs
+	r.Fidelity = fidelity()
 	if *verbose {
 		r.Progress = os.Stderr
 	}

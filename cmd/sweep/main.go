@@ -28,6 +28,7 @@ func main() {
 	clusters := flag.Int("clusters", 0, "ring cluster count (0 = one cluster per node)")
 	linkLat := flag.Int("linklat", 0, "ring link latency in ns (0 = default, -1 = explicitly zero)")
 	scalePressure := flag.Bool("scale-pressure", false, "hold the fractional memory pressure constant at non-paper machine sizes")
+	fidelity := flags.Fidelity()
 	verbose := flags.Verbose()
 	dryRun := flag.Bool("n", false, "print the point count and exit")
 	jobs := flags.Jobs()
@@ -56,6 +57,7 @@ func main() {
 	}
 	r := experiments.NewRunner()
 	r.Jobs = *jobs
+	r.Fidelity = fidelity()
 	if *verbose {
 		r.Progress = os.Stderr
 	}

@@ -1,0 +1,263 @@
+package experiments
+
+// The fidelity-check study is the measured-error harness behind the
+// sampled execution mode (machine.FidelitySampled, DESIGN.md §10): it
+// runs a matrix in both fidelities and compares every headline metric —
+// execution time, read node miss rate, bus occupancy and SLC miss ratio
+// — against per-workload error bounds that were DECLARED from measured
+// envelopes, not aspirational targets. A sampled-mode regression that
+// pushes any workload outside its declared envelope fails the study
+// (and `experiments -only fidelitycheck` exits nonzero), while the
+// committed bounds document honestly how accurate the estimator
+// actually is per workload.
+//
+// The bounds tell the real story of the estimator's error model:
+// count metrics are exact up to interleaving (fast-forward walks the
+// full cache/protocol state machine), so RNMr, bus occupancy and miss
+// ratio stay within ~1% for most workloads; execution time is
+// extrapolated from sampled contention calibration and carries 5-30%
+// error on contention-heavy workloads (ocean, water, radix). Deeply
+// saturated configurations (radix on the 64-processor ring) are outside
+// the estimator's quasi-steady-state assumptions and carry
+// correspondingly wide declared bounds. See DESIGN.md §10 for why the
+// errors land where they do.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// FidelityBound is one workload's declared error tolerance: Exec bounds
+// the relative execution-time error, Counts bounds the RNMr, bus
+// occupancy and SLC miss-ratio errors (all as fractions, 0.05 = 5%).
+type FidelityBound struct {
+	Exec   float64
+	Counts float64
+}
+
+// fidelityBoundsBus16 declares the 16-processor bus envelope, measured
+// across clustering degrees at 6% memory pressure on the default
+// sampled geometry and widened by ~1.5x for headroom against future
+// model drift (runs themselves are deterministic). Exec errors track
+// contention: near-uncontended kernels (lu, barnes) hold a few percent
+// while bursty barrier- or saturation-bound ones (ocean, cholesky,
+// water) sit at 20-45%. Count metrics are usually sub-1% but not
+// universally: lock-migratory workloads at higher clustering (water,
+// volrend) are interleaving-sensitive — fast-forward's approximate
+// timing reorders invalidations, which changes real miss counts — and
+// carry 7-25% count bounds.
+var fidelityBoundsBus16 = map[string]FidelityBound{
+	"barnes":    {Exec: 0.12, Counts: 0.02},
+	"cholesky":  {Exec: 0.40, Counts: 0.10},
+	"fft":       {Exec: 0.10, Counts: 0.025},
+	"fmm":       {Exec: 0.18, Counts: 0.03},
+	"lu-c":      {Exec: 0.12, Counts: 0.005},
+	"lu-n":      {Exec: 0.10, Counts: 0.005},
+	"ocean-c":   {Exec: 0.45, Counts: 0.02},
+	"ocean-n":   {Exec: 0.45, Counts: 0.02},
+	"radiosity": {Exec: 0.30, Counts: 0.05},
+	"radix":     {Exec: 0.20, Counts: 0.01},
+	"raytrace":  {Exec: 0.30, Counts: 0.03},
+	"volrend":   {Exec: 0.10, Counts: 0.07},
+	"water-n2":  {Exec: 0.12, Counts: 0.25},
+	"water-sp":  {Exec: 0.25, Counts: 0.12},
+}
+
+// fidelityBoundsRing64 declares the 64-processor ring-of-clusters
+// envelope. The ring runs far deeper into saturation (calibrated
+// contention factors of 10-30x against 1-5x on the bus), so execution
+// bounds are wider; radix saturates the ring outright — arrival rate
+// exceeds service rate, the quasi-steady-state premise of window
+// calibration fails, and its declared bound records that the estimate
+// is little better than an order-of-magnitude check there.
+var fidelityBoundsRing64 = map[string]FidelityBound{
+	"barnes":    {Exec: 0.25, Counts: 0.02},
+	"cholesky":  {Exec: 0.30, Counts: 0.06},
+	"fft":       {Exec: 0.50, Counts: 0.01},
+	"fmm":       {Exec: 0.35, Counts: 0.01},
+	"lu-c":      {Exec: 0.15, Counts: 0.005},
+	"lu-n":      {Exec: 0.15, Counts: 0.005},
+	"ocean-c":   {Exec: 0.30, Counts: 0.04},
+	"ocean-n":   {Exec: 0.80, Counts: 0.08},
+	"radiosity": {Exec: 0.50, Counts: 0.02},
+	"radix":     {Exec: 5.50, Counts: 0.01},
+	"raytrace":  {Exec: 0.45, Counts: 0.08},
+	"volrend":   {Exec: 0.40, Counts: 0.01},
+	"water-n2":  {Exec: 0.35, Counts: 0.13},
+	"water-sp":  {Exec: 0.40, Counts: 0.03},
+}
+
+// FidelityRow compares one configuration's sampled run against its
+// exact twin.
+type FidelityRow struct {
+	App string
+	PPN int
+	// Relative errors of the sampled run against the exact run.
+	ExecErr, RNMrErr, BusErr, MissErr float64
+	// Windows and Coverage describe the sampled run's geometry as
+	// executed (both deterministic: they depend only on simulated time).
+	Windows  int
+	Coverage float64
+	// Bound is the workload's declared envelope; Pass is whether every
+	// error stayed inside it.
+	Bound FidelityBound
+	Pass  bool
+}
+
+// FidelityCheck is the study result: the row matrix, the overall
+// verdict, and the wall-clock cost of each fidelity (host time; not
+// part of the deterministic table).
+type FidelityCheck struct {
+	Rows []FidelityRow
+	Pass bool
+	// ExactWall and SampledWall are the wall-clock durations of the two
+	// run batches. Meaningful only when the runner has not already
+	// memoized the runs (a fresh `experiments -only fidelitycheck`).
+	ExactWall, SampledWall time.Duration
+}
+
+// fidelityQuickApps is the CI subset: one kernel per contention regime
+// (near-uncontended, AM-bound, barrier-bursty, bus-saturated,
+// lock-serialized).
+var fidelityQuickApps = []string{"lu-c", "fft", "ocean-c", "radix", "water-sp"}
+
+// FidelityCheck runs the Figure 2 matrix (all applications at 6% memory
+// pressure across clustering degrees, on the paper's 16-processor bus)
+// in both fidelities and checks the sampled run of every point against
+// the workload's declared error envelope. quick restricts the matrix to
+// a representative application subset at clustering 1 and 4 — the CI
+// variant.
+func (r *Runner) FidelityCheck(quick bool) (*FidelityCheck, error) {
+	names := make([]string, 0, len(apps.Registry))
+	ppns := []int{1, 2, 4}
+	if quick {
+		names = append(names, fidelityQuickApps...)
+		ppns = []int{1, 4}
+	} else {
+		for _, a := range apps.Registry {
+			names = append(names, a.Name)
+		}
+	}
+	var exact, sampled []job
+	for _, name := range names {
+		for _, ppn := range ppns {
+			cfg := config.Baseline(ppn, config.MP6)
+			cfg.Procs = 16
+			cfg.Fidelity = config.Fidelity{Mode: machine.FidelityExact}
+			exact = append(exact, job{name, cfg})
+			cfg.Fidelity = config.Fidelity{Mode: machine.FidelitySampled}
+			sampled = append(sampled, job{name, cfg})
+		}
+	}
+	t0 := time.Now()
+	eres, err := r.runAll(exact)
+	if err != nil {
+		return nil, err
+	}
+	tExact := time.Since(t0)
+	t0 = time.Now()
+	sres, err := r.runAll(sampled)
+	if err != nil {
+		return nil, err
+	}
+	f := &FidelityCheck{Pass: true, ExactWall: tExact, SampledWall: time.Since(t0)}
+	for i := range exact {
+		row := fidelityCompare(exact[i].app, exact[i].cfg.ProcsPerNode,
+			eres[i], sres[i], fidelityBoundsBus16[exact[i].app])
+		f.Rows = append(f.Rows, row)
+		if !row.Pass {
+			f.Pass = false
+		}
+	}
+	return f, nil
+}
+
+// fidelityCompare builds one row from an exact/sampled result pair.
+func fidelityCompare(app string, ppn int, exact, sampled *machine.Result, bound FidelityBound) FidelityRow {
+	row := FidelityRow{
+		App:     app,
+		PPN:     ppn,
+		ExecErr: relErr(float64(sampled.ExecTime), float64(exact.ExecTime)),
+		RNMrErr: relErr(sampled.RNMr(), exact.RNMr()),
+		BusErr:  relErr(float64(sampled.BusTotal()), float64(exact.BusTotal())),
+		MissErr: relErr(sampled.MissRatio(), exact.MissRatio()),
+		Bound:   bound,
+	}
+	if rep := sampled.Fidelity; rep != nil {
+		row.Windows = rep.Windows
+		row.Coverage = rep.Coverage
+	}
+	row.Pass = abs(row.ExecErr) <= bound.Exec &&
+		abs(row.RNMrErr) <= bound.Counts &&
+		abs(row.BusErr) <= bound.Counts &&
+		abs(row.MissErr) <= bound.Counts
+	return row
+}
+
+// relErr is the signed relative error of got against want; a zero want
+// maps to 0 when got is also zero and 1 otherwise.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (got - want) / want
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// WriteTable renders the deterministic comparison table (everything in
+// it depends only on simulated time, so the fidelity golden test can
+// pin these bytes).
+func (f *FidelityCheck) WriteTable(w io.Writer) error {
+	t := stats.NewTable("application", "ppn", "exec err", "rnmr err", "bus err", "miss err", "win", "cov", "bound", "ok")
+	for _, r := range f.Rows {
+		ok := "ok"
+		if !r.Pass {
+			ok = "FAIL"
+		}
+		t.Row(r.App, r.PPN,
+			fmt.Sprintf("%+.2f%%", r.ExecErr*100),
+			fmt.Sprintf("%+.2f%%", r.RNMrErr*100),
+			fmt.Sprintf("%+.2f%%", r.BusErr*100),
+			fmt.Sprintf("%+.2f%%", r.MissErr*100),
+			r.Windows,
+			fmt.Sprintf("%.3f", r.Coverage),
+			fmt.Sprintf("%.0f%%/%.1f%%", r.Bound.Exec*100, r.Bound.Counts*100),
+			ok)
+	}
+	return t.Write(w)
+}
+
+// Write renders the study for the CLI: the comparison table plus the
+// wall-clock speedup and the verdict.
+func (f *FidelityCheck) Write(w io.Writer) error {
+	fmt.Fprintln(w, "Fidelity check: sampled fast-forward vs exact, Figure 2 matrix")
+	if err := f.WriteTable(w); err != nil {
+		return err
+	}
+	if f.SampledWall > 0 {
+		fmt.Fprintf(w, "wall clock: exact %v, sampled %v (%.2fx)\n",
+			f.ExactWall.Round(time.Millisecond), f.SampledWall.Round(time.Millisecond),
+			float64(f.ExactWall)/float64(f.SampledWall))
+	}
+	if f.Pass {
+		fmt.Fprintln(w, "PASS: every point inside its declared error envelope")
+	} else {
+		fmt.Fprintln(w, "FAIL: points outside their declared error envelope")
+	}
+	return nil
+}

@@ -39,6 +39,9 @@ func CfgLabel(c config.Machine) string {
 			s += fmt.Sprintf(" lat=%dns", c.LinkLatencyNs)
 		}
 	}
+	if c.Fidelity.Sampled() {
+		s += " sampled"
+	}
 	return s
 }
 

@@ -49,6 +49,12 @@ type Runner struct {
 	// it observes only simulated time — so memoized results and -jobs
 	// invariance are unaffected.
 	SampleWindow engine.Time
+	// Fidelity is applied to every configuration that does not pin its
+	// own (the -fidelity flag of cmd/experiments and cmd/sweep lands
+	// here); the zero value leaves configurations exact. The resolved
+	// fidelity is part of the memo key, so one runner can hold exact and
+	// sampled results side by side without collisions.
+	Fidelity config.Fidelity
 	// WrapSimulate, when non-nil, brackets each simulation actually
 	// executed (memoized hits are not bracketed): it is called at start
 	// and the closure it returns is called with the simulation's error
@@ -171,6 +177,9 @@ func (r *Runner) TraceAt(app string, procs int) (*trace.Trace, error) {
 func (r *Runner) Run(app string, cfg config.Machine) (*machine.Result, error) {
 	if cfg.Procs == 0 {
 		cfg.Procs = r.Procs
+	}
+	if cfg.Fidelity == (config.Fidelity{}) {
+		cfg.Fidelity = r.Fidelity
 	}
 	c := r.resultCell(runKey{app: app, cfg: cfg})
 	c.once.Do(func() {

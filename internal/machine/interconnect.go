@@ -23,11 +23,12 @@ import (
 //   - `at` is when the message is ready to leave its source; the return
 //     value is when it is available at its destination (for broadcasts:
 //     at the furthest holder).
-//   - Every method claims its occupancy on the fabric's engine.Resources,
-//     accounts traffic by class into the machine's occupancy counters and
-//     emits grant events (obs.KindBusGrant / obs.KindLinkGrant) when a
-//     sink is installed, so tracing sees every transaction on every
-//     topology.
+//   - Every method claims its occupancy on the fabric's engine.Resources
+//     (through Machine.claimRes, so fast-forward phases of a sampled run
+//     pass through without arbitration), accounts traffic by class into
+//     the machine's occupancy counters and emits grant events
+//     (obs.KindBusGrant / obs.KindLinkGrant) when a sink is installed, so
+//     tracing sees every transaction on every topology.
 //   - `l` is the line the transaction concerns; address-interleaved
 //     directories route by it, the bus ignores it.
 type Interconnect interface {
@@ -83,7 +84,7 @@ func newBusFabric(m *Machine) *busFabric {
 // traffic by class and emits a bus-grant event when a sink is installed.
 func (b *busFabric) claim(node int, at, occ engine.Time, class coma.TxnClass) engine.Time {
 	m := b.m
-	start := b.bus.Claim(at, occ)
+	start := m.claimRes(b.bus, at, occ)
 	m.traffic(class, occ)
 	if m.rec.Enabled() {
 		m.rec.Emit(obs.Event{

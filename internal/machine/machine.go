@@ -57,6 +57,21 @@ type proc struct {
 	start    engine.Time // measured-section start
 	finished engine.Time
 
+	// ffRem carries the fixed-point remainder of λ-scaled fast-forward
+	// clock advances (sampled fidelity only), keeping schedules integral
+	// and deterministic.
+	ffRem int64
+
+	// Fast-forward line memo (sampled fidelity only; see ffRead/ffWrite):
+	// a 64-entry direct-mapped table of lines known L1-resident (ffValid)
+	// or SLC-dirty with siblings already invalidated (ffWritable). Valid
+	// bits persist across bursts — every path that can remove a line from
+	// this processor's L1 (own eviction, sibling store, AM purge) drops
+	// the memo entry — while writable bits are re-proved each burst.
+	ffLines    [64]addrspace.Line
+	ffValid    uint64
+	ffWritable uint64
+
 	st ProcStats
 }
 
@@ -135,10 +150,23 @@ type Machine struct {
 	measuring      bool
 	reads          int64
 	readNodeMisses int64
+	slcMisses      int64
 	busOcc         [3]engine.Time
 	writeBacks     int64
 	dirtyPurges    int64
 	latency        LatencyHist
+
+	// Adaptive fidelity (fidelity.go). ff is nil in exact mode, so the
+	// exact path pays nothing beyond always-false branch checks:
+	// counting gates the window-calibration sites (true only inside a
+	// sampled measurement window), freeflow makes resource claims pass
+	// through during fast-forward, waitAcc accumulates queueing delay
+	// for the λ calibration. The fast-forward line memo lives on each
+	// proc.
+	ff       *ffState
+	counting bool
+	freeflow bool
+	waitAcc  engine.Time
 }
 
 // New builds a machine with the paper's bus-based COMA memory system.
@@ -158,6 +186,9 @@ func NewWithMem(p Params, buildMem func(purge func(node int, l addrspace.Line, e
 		occDRAM: occupancy(DefaultDRAMTime, p.DRAMBandwidth),
 		occNC:   occupancy(DefaultNCTime, p.NCBandwidth),
 		occBus:  occupancy(DefaultBusPhase, p.BusBandwidth),
+	}
+	if p.Fidelity.Sampled() {
+		m.ff = newFFState(p.Fidelity)
 	}
 	nodes := p.Nodes()
 	amSets := oddSets(p.AMBytesPerProc*p.ProcsPerNode, p.AMWays)
@@ -295,6 +326,9 @@ func (m *Machine) onPurge(node int, l addrspace.Line, evict bool) {
 			m.dirtyPurges++
 		}
 		m.procs[i].slc.Invalidate(l)
+		if m.ff != nil {
+			m.procs[i].ffDrop(l)
+		}
 	}
 }
 
@@ -305,6 +339,9 @@ func (m *Machine) onDowngrade(node int, l addrspace.Line) {
 	for i := first; i < first+m.params.ProcsPerNode; i++ {
 		if st, ok := m.procs[i].slc.Lookup(l); ok && st == cacheDirty {
 			m.procs[i].slc.SetState(l, cacheValid)
+		}
+		if m.ff != nil {
+			m.procs[i].ffDrop(l)
 		}
 	}
 }
@@ -358,11 +395,15 @@ func (m *Machine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, err
 			break
 		}
 		p := m.procs[id]
-		for {
-			t0 := p.t
-			m.step(p)
-			if p.done || p.blocked || p.t != t0 {
-				break
+		if m.ff != nil && m.ff.fastAt(p.t) {
+			m.ffBurst(p)
+		} else {
+			for {
+				t0 := p.t
+				m.step(p)
+				if p.done || p.blocked || p.t != t0 {
+					break
+				}
 			}
 		}
 		if p.done || p.blocked {
@@ -398,6 +439,9 @@ func (m *Machine) step(p *proc) {
 		// (clock, id) minimum), so this closes every window the clock
 		// passed.
 		m.sampler.Advance(int64(p.t))
+	}
+	if m.ff != nil {
+		m.ffSync(p.t)
 	}
 	if p.pc >= p.refs.Len() {
 		// Released from a final barrier with nothing left to run.
@@ -467,28 +511,70 @@ func (m *Machine) doRead(p *proc, a addrspace.Addr) {
 	if _, ok := p.slc.Touch(l); ok {
 		start := p.slcRes.Claim(p.t, DefaultSLCHit)
 		p.t = start + DefaultSLCHit
-		p.l1.Insert(l, cacheValid)
+		m.l1Insert(p, l)
 		m.stall(p, StallSLC, p.t-t0)
 		if m.measuring {
 			m.latency.add(p.t - t0)
 		}
+		if m.counting {
+			m.ff.noteRead(p.id, StallSLC, p.t-t0, DefaultSLCHit)
+		}
 		return
+	}
+	var w0 engine.Time
+	if m.counting {
+		w0 = m.waitAcc
 	}
 	eff := m.mem.Read(p.node, l)
 	if m.sampler != nil {
 		m.sampler.NoteMiss(!eff.Hit && !eff.Cold)
 	}
 	done, class := m.charge(p.node, p.slcRes, p.t, eff)
+	if m.counting {
+		// Calibration: the read's measured service time against its
+		// contention-free component (service minus queueing delay).
+		m.ff.noteRead(p.id, class, done-t0, (done-t0)-(m.waitAcc-w0))
+	}
 	p.t = done
-	p.l1.Insert(l, cacheValid)
+	m.l1Insert(p, l)
 	m.slcInsert(p, l, cacheValid)
 	if m.measuring {
+		m.slcMisses++
 		if !eff.Hit && !eff.Cold {
 			m.readNodeMisses++
 		}
 		m.latency.add(p.t - t0)
 	}
 	m.stall(p, class, p.t-t0)
+}
+
+// l1Insert fills p's L1 and, in sampled mode, records the line in p's
+// fast-forward memo (the eviction drop keeps the memo's L1-residency
+// claims exact).
+func (m *Machine) l1Insert(p *proc, l addrspace.Line) {
+	victim, evicted := p.l1.Insert(l, cacheValid)
+	if m.ff == nil {
+		return
+	}
+	if evicted {
+		p.ffDrop(victim.Line)
+	}
+	i := uint64(l) & 63
+	bit := uint64(1) << i
+	p.ffLines[i] = l
+	p.ffValid |= bit
+	p.ffWritable &^= bit
+}
+
+// ffDrop evicts a line from p's fast-forward memo (its residency claim no
+// longer holds).
+func (p *proc) ffDrop(l addrspace.Line) {
+	i := uint64(l) & 63
+	if p.ffLines[i] == l {
+		bit := uint64(1) << i
+		p.ffValid &^= bit
+		p.ffWritable &^= bit
+	}
 }
 
 // slcInsert fills the SLC, writing back a displaced dirty victim to the
@@ -499,6 +585,9 @@ func (m *Machine) slcInsert(p *proc, l addrspace.Line, st cache.State) {
 		return
 	}
 	p.l1.Invalidate(victim.Line)
+	if m.ff != nil {
+		p.ffDrop(victim.Line)
+	}
 	if victim.State == cacheDirty {
 		m.writeBacks++
 		eff := m.mem.WriteBack(p.node, victim.Line)
@@ -510,11 +599,13 @@ func (m *Machine) slcInsert(p *proc, l addrspace.Line, st cache.State) {
 // dirty write-back) starting around time at: resources are occupied but no
 // processor waits.
 func (m *Machine) chargeAsync(node int, eff coma.Effect, at engine.Time) {
+	w := m.waitAcc // off the critical path: keep its queueing out of λ calibration
 	if len(eff.Txns) == 0 {
 		// Node-local: controller plus DRAM.
 		nr := m.nodes[node]
-		start := nr.nc.Claim(at, m.occNC)
-		nr.dram.Claim(start+DefaultNCTime, m.occDRAM)
+		start := m.claimRes(nr.nc, at, m.occNC)
+		m.claimRes(nr.dram, start+DefaultNCTime, m.occDRAM)
+		m.waitAcc = w
 		return
 	}
 	for _, txn := range eff.Txns {
@@ -531,10 +622,11 @@ func (m *Machine) chargeAsync(node int, eff coma.Effect, at engine.Time) {
 		}
 		if txn.Remote >= 0 {
 			rn := m.nodes[txn.Remote]
-			s2 := rn.nc.Claim(arr, m.occNC)
-			rn.dram.Claim(s2+DefaultNCTime, m.occDRAM)
+			s2 := m.claimRes(rn.nc, arr, m.occNC)
+			m.claimRes(rn.dram, s2+DefaultNCTime, m.occDRAM)
 		}
 	}
+	m.waitAcc = w
 }
 
 func (m *Machine) stall(p *proc, c StallClass, d engine.Time) {
@@ -588,7 +680,20 @@ func (m *Machine) doWrite(p *proc, a addrspace.Addr) {
 	if m.sampler != nil {
 		m.sampler.NoteMiss(!eff.Hit && !eff.Cold)
 	}
+	if m.measuring {
+		m.slcMisses++
+	}
+	var w0 engine.Time
+	if m.counting {
+		w0 = m.waitAcc
+	}
 	done, class := m.charge(p.node, p.slcRes, start, eff)
+	if m.counting {
+		// Drain calibration, measured from the drain's scheduled start
+		// (not the store's issue time) so write-buffer backlog isn't
+		// double-counted as contention.
+		m.ff.noteDrain(p.id, done-start, (done-start)-(m.waitAcc-w0))
+	}
 	p.wbLast = done
 	slot := p.wbHead + p.wbLen
 	if slot >= len(p.wb) {
@@ -604,7 +709,7 @@ func (m *Machine) doWrite(p *proc, a addrspace.Addr) {
 		st = cacheDirty
 	}
 	m.slcInsert(p, l, st)
-	p.l1.Insert(l, cacheValid)
+	m.l1Insert(p, l)
 	if !m.params.Policy.WriteUpdate {
 		// Update-policy stores refresh sibling copies in place; the
 		// invalidation protocol kills them.
@@ -622,6 +727,9 @@ func (m *Machine) invalidateSiblings(p *proc, l addrspace.Line) {
 		}
 		m.procs[i].l1.Invalidate(l)
 		m.procs[i].slc.Invalidate(l)
+		if m.ff != nil {
+			m.procs[i].ffDrop(l)
+		}
 	}
 }
 
@@ -659,10 +767,10 @@ func (m *Machine) drainAll(p *proc) {
 func (m *Machine) charge(node int, slcRes *engine.Resource, at engine.Time, eff coma.Effect) (engine.Time, StallClass) {
 	nr := m.nodes[node]
 	// SLC miss detection / update.
-	start := slcRes.Claim(at, DefaultSLCMissDetect)
+	start := m.claimRes(slcRes, at, DefaultSLCMissDetect)
 	t := start + DefaultSLCMissDetect
 	// Local node controller: state & tag check.
-	start = nr.nc.Claim(t, m.occNC)
+	start = m.claimRes(nr.nc, t, m.occNC)
 	t = start + DefaultNCTime
 
 	remote := false
@@ -682,9 +790,9 @@ func (m *Machine) charge(node int, slcRes *engine.Resource, at engine.Time, eff 
 			remote = true
 			t = m.ic.Request(node, txn.Remote, txn.Line, t, txn.Class)
 			rn := m.nodes[txn.Remote]
-			start = rn.nc.Claim(t, m.occNC)
+			start = m.claimRes(rn.nc, t, m.occNC)
 			t = start + DefaultNCTime
-			start = rn.dram.Claim(t, m.occDRAM)
+			start = m.claimRes(rn.dram, t, m.occDRAM)
 			t = start + DefaultDRAMTime
 			t = m.ic.Response(txn.Remote, node, txn.Line, t, txn.Class)
 		default:
@@ -696,7 +804,7 @@ func (m *Machine) charge(node int, slcRes *engine.Resource, at engine.Time, eff 
 	// store on a write. A memory system without local installation
 	// (CC-NUMA remote fetches) skips this stage.
 	if !eff.NoLocalFill {
-		start = nr.dram.Claim(t, m.occDRAM)
+		start = m.claimRes(nr.dram, t, m.occDRAM)
 		t = start + DefaultDRAMTime
 	}
 	if remote {
@@ -711,14 +819,35 @@ func (m *Machine) charge(node int, slcRes *engine.Resource, at engine.Time, eff 
 // DRAM); ownership promotions are a single address-only request to the
 // heir.
 func (m *Machine) chargeReplace(node int, txn coma.Txn, t engine.Time) {
+	w := m.waitAcc // off the critical path: keep its queueing out of λ calibration
 	if !txn.Data {
 		m.ic.Request(node, txn.Remote, txn.Line, t, coma.TxnReplace)
+		m.waitAcc = w
 		return
 	}
 	arr := m.ic.Inject(node, txn.Remote, txn.Line, t, coma.TxnReplace)
 	rn := m.nodes[txn.Remote]
-	start := rn.nc.Claim(arr, m.occNC)
-	rn.dram.Claim(start+DefaultNCTime, m.occDRAM)
+	start := m.claimRes(rn.nc, arr, m.occNC)
+	m.claimRes(rn.dram, start+DefaultNCTime, m.occDRAM)
+	m.waitAcc = w
+}
+
+// claimRes arbitrates a timing resource. Detailed execution claims for
+// real; in fast-forward (freeflow) the claim passes through at its
+// request time without occupying anything — contention re-enters through
+// the calibrated λ factor instead, and busy time is extrapolated from
+// the windows (ffFinalize). Inside a measurement window the queueing
+// delay feeds the λ calibration via waitAcc. In exact mode both flags
+// are permanently false and this is exactly Resource.Claim.
+func (m *Machine) claimRes(r *engine.Resource, at, occ engine.Time) engine.Time {
+	if m.freeflow {
+		return at
+	}
+	start := r.Claim(at, occ)
+	if m.counting {
+		m.waitAcc += start - at
+	}
+	return start
 }
 
 func (m *Machine) traffic(c coma.TxnClass, occ engine.Time) {
@@ -877,6 +1006,7 @@ func (m *Machine) beginMeasure(at engine.Time) {
 	m.measuring = true
 	m.reads = 0
 	m.readNodeMisses = 0
+	m.slcMisses = 0
 	m.busOcc = [3]engine.Time{}
 	m.writeBacks = 0
 	m.dirtyPurges = 0
@@ -892,6 +1022,9 @@ func (m *Machine) beginMeasure(at engine.Time) {
 		p.start = at
 		p.slcRes.Reset()
 	}
+	if m.ff != nil {
+		m.ffBegin(at)
+	}
 }
 
 func (m *Machine) result() *Result {
@@ -899,6 +1032,7 @@ func (m *Machine) result() *Result {
 		Procs:          make([]ProcStats, len(m.procs)),
 		Reads:          m.reads,
 		ReadNodeMisses: m.readNodeMisses,
+		SLCMisses:      m.slcMisses,
 		WriteBacks:     m.writeBacks,
 		DirtyPurges:    m.dirtyPurges,
 		ReadLatency:    m.latency,
@@ -933,6 +1067,9 @@ func (m *Machine) result() *Result {
 				DRAM: float64(nr.dram.BusyTotal()) / dur,
 			}
 		}
+	}
+	if m.ff != nil {
+		m.ffFinalize(res)
 	}
 	return res
 }

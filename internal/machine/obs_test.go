@@ -19,11 +19,16 @@ func obsTrace(procs int) *trace.Trace {
 }
 
 // Instrumentation must be a pure observer: a machine with a sink installed
-// produces a bit-identical Result to one without.
+// produces a bit-identical Result to one without. The same zero-perturbation
+// contract covers the fidelity knob: exact mode with sampling geometry
+// parameters present must not change a single bit either — the sampled
+// machinery may only exist when Mode is sampled.
 func TestInstrumentationDoesNotPerturb(t *testing.T) {
 	tr := obsTrace(8)
-	run := func(sink obs.Sink) *Result {
-		m, err := New(tinyParams(8, 2))
+	run := func(sink obs.Sink, fid Fidelity) *Result {
+		p := tinyParams(8, 2)
+		p.Fidelity = fid
+		m, err := New(p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,10 +41,16 @@ func TestInstrumentationDoesNotPerturb(t *testing.T) {
 		}
 		return res
 	}
-	plain := run(nil)
-	traced := run(&obs.Counting{})
+	plain := run(nil, Fidelity{})
+	traced := run(&obs.Counting{}, Fidelity{})
 	if !reflect.DeepEqual(plain, traced) {
 		t.Fatal("installing a sink changed the simulation result")
+	}
+	spec := DefaultFidelity()
+	spec.Mode = FidelityExact
+	exact := run(nil, spec)
+	if !reflect.DeepEqual(plain, exact) {
+		t.Fatal("exact fidelity with sampling geometry present changed the simulation result")
 	}
 }
 

@@ -41,6 +41,104 @@ const (
 	DefaultDirTime     engine.Time = 24
 )
 
+// Fidelity modes (see the Fidelity type).
+const (
+	// FidelityExact is full-detail simulation: every reference walks the
+	// complete timing model with resource arbitration. "" means exact.
+	FidelityExact = "exact"
+	// FidelitySampled interleaves functional fast-forward with detailed
+	// measurement windows, SMARTS-style (DESIGN.md §10).
+	FidelitySampled = "sampled"
+)
+
+// Default sampled-fidelity geometry (simulated nanoseconds). One period
+// is warmup + window of detailed simulation followed by fast-forward for
+// the remainder; runs in this repository simulate 1.5–10 M ns of
+// parallel section, so these defaults yield ~7–40 windows per run at
+// ~12% detailed coverage. The warmup is deliberately long (one full
+// window): fast-forward leaves every queue idle, so after re-entry the
+// detailed simulation must both refill steady-state backlogs and let
+// the re-arrival burst (all processors reach the idle resources nearly
+// at once) decay before the measurement window opens — with short
+// warmups the windows measure that artifact instead of the steady
+// state, and the calibrated waits land 20–50% off (measured across the
+// SPLASH-2-shaped kernel suite; see DESIGN.md §10).
+const (
+	DefaultFFWarmup engine.Time = 16000
+	DefaultFFWindow engine.Time = 16000
+	DefaultFFPeriod engine.Time = 256000
+)
+
+// Fidelity selects the execution fidelity of a run. The zero value (or
+// Mode "exact") is full detail. Mode "sampled" alternates two regimes
+// over simulated time, aligned across processors:
+//
+//   - Detailed phases (Warmup ns of warmup then Window ns of
+//     measurement window, at the start of every Period ns): the full
+//     timing model runs, exactly as in exact mode.
+//   - Fast-forward (the rest of each period): every reference is still
+//     simulated functionally — caches, attraction memories, the
+//     directory and the protocol see the complete reference stream, so
+//     count metrics (reads, node misses, SLC misses, write-backs, bus
+//     occupancy) remain exactly counted — but nothing arbitrates for
+//     resources. Clocks advance by contention-free latency scaled by a
+//     contention factor calibrated in the measurement windows.
+//
+// Synchronization (locks, barriers, write-buffer drains) is simulated in
+// every phase, so load imbalance survives fast-forward. See DESIGN.md
+// §10 for the error model. In exact mode the geometry fields are ignored
+// entirely: an exact machine with geometry set behaves bit-identically
+// to one with a zero Fidelity.
+type Fidelity struct {
+	// Mode is "", FidelityExact or FidelitySampled.
+	Mode string
+	// Warmup is the detailed warm-up span preceding each measurement
+	// window, excluded from contention calibration (simulated ns).
+	Warmup engine.Time
+	// Window is the measurement-window span (simulated ns).
+	Window engine.Time
+	// Period is the sampling period; Period - Warmup - Window ns of every
+	// period run in fast-forward.
+	Period engine.Time
+}
+
+// Sampled reports whether the spec selects sampled fidelity.
+func (f Fidelity) Sampled() bool { return f.Mode == FidelitySampled }
+
+// DefaultFidelity returns the sampled mode with the default geometry.
+func DefaultFidelity() Fidelity {
+	return Fidelity{
+		Mode:   FidelitySampled,
+		Warmup: DefaultFFWarmup,
+		Window: DefaultFFWindow,
+		Period: DefaultFFPeriod,
+	}
+}
+
+// Validate checks the spec (geometry is only constrained in sampled
+// mode). Params validation calls it; the comasrv request layer calls it
+// directly so a bad geometry rejects at admission instead of at run.
+func (f Fidelity) Validate() error {
+	switch f.Mode {
+	case "", FidelityExact:
+		return nil
+	case FidelitySampled:
+		if f.Window <= 0 {
+			return fmt.Errorf("machine: sampled fidelity Window = %d", f.Window)
+		}
+		if f.Warmup < 0 {
+			return fmt.Errorf("machine: sampled fidelity Warmup = %d", f.Warmup)
+		}
+		if f.Period < f.Warmup+f.Window {
+			return fmt.Errorf("machine: sampled fidelity Period %d shorter than Warmup+Window %d",
+				f.Period, f.Warmup+f.Window)
+		}
+		return nil
+	default:
+		return fmt.Errorf("machine: unknown fidelity mode %q", f.Mode)
+	}
+}
+
 // Topology selects and parameterizes the machine's interconnect. The
 // zero value is the paper's single snooping bus.
 type Topology struct {
@@ -112,6 +210,10 @@ type Params struct {
 	// Topology selects the interconnect joining the nodes; the zero
 	// value is the paper's snooping bus.
 	Topology Topology
+
+	// Fidelity selects the execution fidelity; the zero value is exact
+	// full-detail simulation.
+	Fidelity Fidelity
 }
 
 // DefaultParams returns the paper's baseline machine for the given
@@ -181,7 +283,7 @@ func (p Params) Validate() error {
 	if p.WriteBufferDepth <= 0 {
 		return fmt.Errorf("machine: WriteBufferDepth = %d", p.WriteBufferDepth)
 	}
-	return nil
+	return p.Fidelity.Validate()
 }
 
 // Nodes returns the node count implied by the clustering degree.

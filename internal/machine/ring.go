@@ -111,7 +111,7 @@ func (r *ringFabric) dist(a, b int) int {
 func (r *ringFabric) busPhase(c, node int, phases, at engine.Time, class coma.TxnClass) engine.Time {
 	m := r.m
 	occ := phases * r.occBus
-	start := r.cbus[c].Claim(at, occ)
+	start := m.claimRes(r.cbus[c], at, occ)
 	m.traffic(class, occ)
 	if m.rec.Enabled() {
 		m.rec.Emit(obs.Event{
@@ -131,7 +131,7 @@ func (r *ringFabric) busPhase(c, node int, phases, at engine.Time, class coma.Tx
 func (r *ringFabric) hop(c, node int, phases, at engine.Time, class coma.TxnClass) engine.Time {
 	m := r.m
 	occ := phases * r.occLink
-	start := r.links[c].Claim(at, occ)
+	start := m.claimRes(r.links[c], at, occ)
 	m.traffic(class, occ)
 	if m.rec.Enabled() {
 		m.rec.Emit(obs.Event{
@@ -157,7 +157,7 @@ func (r *ringFabric) travel(a, b, node int, phases, at engine.Time, class coma.T
 
 // dirLookup pays cluster c's root-directory slice access.
 func (r *ringFabric) dirLookup(c int, at engine.Time) engine.Time {
-	start := r.dirs[c].Claim(at, r.occDir)
+	start := r.m.claimRes(r.dirs[c], at, r.occDir)
 	return start + DefaultDirTime
 }
 

@@ -63,6 +63,11 @@ type Result struct {
 	// BusOccupancy[class] is total bus-occupied time per transaction
 	// class (read / write / replace) — the paper's traffic metric.
 	BusOccupancy [3]engine.Time
+	// SLCMisses counts data references (loads and stores) that missed
+	// the second-level cache and went to the memory system; the ratio
+	// against Reads+Writes (MissRatio) is the hierarchy-level miss
+	// ratio the clustering results trade against.
+	SLCMisses int64
 	// WriteBacks counts dirty SLC lines written back to the AM, and
 	// DirtyPurges counts dirty lines flushed because their AM line left
 	// the node.
@@ -87,6 +92,10 @@ type Result struct {
 	// just the measured section); nil unless sampling was enabled with
 	// Machine.EnableSampling.
 	Timeline *obs.Timeline
+	// Fidelity describes how a sampled-fidelity run measured and
+	// extrapolated its metrics (window count, coverage, calibrated
+	// contention factor, per-metric confidence); nil on exact runs.
+	Fidelity *FidelityReport
 }
 
 // ResUse is one resource's measured-section usage: occupancy, demand and
@@ -138,6 +147,25 @@ func (r *Result) RNMr() float64 {
 		return 0
 	}
 	return float64(r.ReadNodeMisses) / float64(r.Reads)
+}
+
+// Writes returns total stores across processors.
+func (r *Result) Writes() int64 {
+	var w int64
+	for i := range r.Procs {
+		w += r.Procs[i].Writes
+	}
+	return w
+}
+
+// MissRatio returns the SLC miss ratio over all data references (0 when
+// none occurred).
+func (r *Result) MissRatio() float64 {
+	refs := r.Reads + r.Writes()
+	if refs == 0 {
+		return 0
+	}
+	return float64(r.SLCMisses) / float64(refs)
 }
 
 // BusTotal returns total bus occupancy across classes.

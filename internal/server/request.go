@@ -18,7 +18,12 @@ import (
 //
 // v2: topology request fields (ring-of-clusters interconnect) and the
 // widened Timeline (link occupancy series).
-const schemaVersion = 2
+//
+// v3: execution-fidelity request fields (sampled fast-forward) and the
+// fidelity report in SimResult. Exact and sampled runs of the same
+// machine must never share a content address — sampled execution times
+// are estimates.
+const schemaVersion = 3
 
 // SimRequest is the body of POST /v1/simulate: one (workload, machine
 // configuration) run. Zero fields take the paper's defaults, mirroring
@@ -59,6 +64,17 @@ type SimRequest struct {
 	// ScalePressure reinterprets the MP fraction against this machine's
 	// processor count instead of the paper's 16 (scaled sweeps).
 	ScalePressure bool `json:"scale_pressure,omitempty"`
+	// Fidelity selects the execution fidelity: "exact" (default) or
+	// "sampled" (fast-forward between detailed measurement windows;
+	// execution time becomes an estimate, count metrics stay exact).
+	Fidelity string `json:"fidelity,omitempty"`
+	// Sampled-geometry overrides in simulated nanoseconds, only valid
+	// with fidelity "sampled": warmup before each measurement window
+	// (-1 means explicitly zero), window span and sampling period. Zero
+	// selects the defaults (16000/16000/256000).
+	FFWarmupNs int64 `json:"ff_warmup_ns,omitempty"`
+	FFWindowNs int64 `json:"ff_window_ns,omitempty"`
+	FFPeriodNs int64 `json:"ff_period_ns,omitempty"`
 }
 
 // canonSim is the canonical (fully defaulted) form that is hashed into
@@ -82,6 +98,10 @@ type canonSim struct {
 	LinkLatency  int     `json:"link_latency_ns"`
 	LinkBW       float64 `json:"link_bw"`
 	ScaleMP      bool    `json:"scale_pressure"`
+	Fidelity     string  `json:"fidelity"`
+	FFWarmup     int64   `json:"ff_warmup_ns"`
+	FFWindow     int64   `json:"ff_window_ns"`
+	FFPeriod     int64   `json:"ff_period_ns"`
 }
 
 // normalize validates the request, fills defaults in place, and returns
@@ -157,6 +177,40 @@ func (r *SimRequest) normalize() (config.Machine, error) {
 			return config.Machine{}, fmt.Errorf("link_bw must be positive")
 		}
 	}
+	switch r.Fidelity {
+	case "":
+		r.Fidelity = machine.FidelityExact
+	case machine.FidelityExact, machine.FidelitySampled:
+	default:
+		return config.Machine{}, fmt.Errorf("unknown fidelity %q (known: exact, sampled)", r.Fidelity)
+	}
+	if r.Fidelity == machine.FidelityExact {
+		if r.FFWarmupNs != 0 || r.FFWindowNs != 0 || r.FFPeriodNs != 0 {
+			return config.Machine{}, fmt.Errorf("ff_warmup_ns, ff_window_ns and ff_period_ns are only valid with fidelity \"sampled\"")
+		}
+	} else {
+		if r.FFWarmupNs < -1 {
+			return config.Machine{}, fmt.Errorf("ff_warmup_ns must be >= -1 (-1 means zero warmup)")
+		}
+		if r.FFWindowNs < 0 || r.FFPeriodNs < 0 {
+			return config.Machine{}, fmt.Errorf("ff_window_ns and ff_period_ns must be non-negative (0 means default)")
+		}
+		spec := config.Fidelity{Mode: machine.FidelitySampled,
+			WarmupNs: r.FFWarmupNs, WindowNs: r.FFWindowNs, PeriodNs: r.FFPeriodNs}.Params()
+		if err := spec.Validate(); err != nil {
+			return config.Machine{}, err
+		}
+		// The canonical form spells the resolved geometry out, so "0 =
+		// default" and the explicit default values share one content
+		// address (a zero resolved warmup canonicalizes to -1, the
+		// explicit-zero spelling).
+		r.FFWarmupNs = int64(spec.Warmup)
+		if r.FFWarmupNs == 0 {
+			r.FFWarmupNs = -1
+		}
+		r.FFWindowNs = int64(spec.Window)
+		r.FFPeriodNs = int64(spec.Period)
+	}
 	cfg := config.Baseline(r.ProcsPerNode, mp)
 	cfg.Procs = r.Procs
 	cfg.AMWays = r.AMWays
@@ -172,6 +226,14 @@ func (r *SimRequest) normalize() (config.Machine, error) {
 		cfg.LinkLatencyNs = r.LinkLatencyNs
 		cfg.LinkBandwidth = r.LinkBandwidth
 	}
+	// Mode "exact" (not the zero value) pins the fidelity so a runner
+	// default can never override a request's choice.
+	cfg.Fidelity = config.Fidelity{Mode: r.Fidelity}
+	if r.Fidelity == machine.FidelitySampled {
+		cfg.Fidelity.WarmupNs = r.FFWarmupNs
+		cfg.Fidelity.WindowNs = r.FFWindowNs
+		cfg.Fidelity.PeriodNs = r.FFPeriodNs
+	}
 	return cfg, nil
 }
 
@@ -184,7 +246,9 @@ func (r *SimRequest) key() store.Key {
 		Bus: r.BusBandwidth, Inclusive: *r.Inclusive, WriteUpdate: r.WriteUpdate,
 		Topology: r.Topology, Clusters: r.Clusters,
 		LinkLatency: r.LinkLatencyNs, LinkBW: r.LinkBandwidth,
-		ScaleMP: r.ScalePressure,
+		ScaleMP:  r.ScalePressure,
+		Fidelity: r.Fidelity,
+		FFWarmup: r.FFWarmupNs, FFWindow: r.FFWindowNs, FFPeriod: r.FFPeriodNs,
 	}
 	b, err := json.Marshal(c)
 	if err != nil {
