@@ -74,11 +74,14 @@ type Entry struct {
 	Runs           []Run   `json:"runs"`
 }
 
-// File is the BENCH_results.json layout.
+// File is the BENCH_results.json layout. The fleet list is owned by
+// cmd/loadgen and carried through verbatim so either command can merge
+// its entries without dropping the other's.
 type File struct {
-	Schema  int     `json:"schema"`
-	Matrix  string  `json:"matrix"`
-	Entries []Entry `json:"entries"`
+	Schema  int               `json:"schema"`
+	Matrix  string            `json:"matrix"`
+	Entries []Entry           `json:"entries"`
+	Fleet   []json.RawMessage `json:"fleet,omitempty"`
 }
 
 func main() {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/config/flags"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -40,18 +41,42 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request simulation timeout (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
 	logFormat := flag.String("log", "text", "log handler: text or json (structured, one line per request)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: shed computations with 429 when this many are already queued (0 = unbounded)")
+	jobTTL := flag.Duration("job-ttl", 0, "evict finished async jobs after this long (0 = 15m)")
+	shardID := flag.String("shard-id", "", "fleet mode: this shard's member ID (requires -peers)")
+	peers := flag.String("peers", "", `fleet mode: full membership as "id=url,id=url,..." including this shard`)
+	replicas := flag.Int("replicas", 0, "fleet mode: total copies for hot entries, owner included (0 = 2, 1 disables)")
+	replicateAfter := flag.Int("replicate-after", 0, "fleet mode: hit count that promotes an entry to its replica set (0 = 3, negative disables)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "fleet mode: per peer-fill/replication request timeout (0 = 2s)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
 	flags.Check("comasrv", err)
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Jobs:          *jobs,
 		StoreDir:      *storeDir,
 		StoreMemBytes: *cacheBytes,
 		Timeout:       *timeout,
 		Logger:        logger,
-	})
+		MaxQueue:      *maxQueue,
+		JobTTL:        *jobTTL,
+	}
+	if (*shardID == "") != (*peers == "") {
+		flags.Check("comasrv", fmt.Errorf("-shard-id and -peers must be set together"))
+	}
+	if *shardID != "" {
+		members, err := fleet.ParseMembers(*peers)
+		flags.Check("comasrv", err)
+		cfg.Fleet = &server.FleetConfig{
+			ShardID:        *shardID,
+			Members:        members,
+			Replicas:       *replicas,
+			ReplicateAfter: *replicateAfter,
+			PeerTimeout:    *peerTimeout,
+		}
+	}
+	srv, err := server.New(cfg)
 	flags.Check("comasrv", err)
 	defer srv.Close()
 
@@ -62,7 +87,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", *addr, "jobs", *jobs, "store", *storeDir)
+		if *shardID != "" {
+			logger.Info("listening", "addr", *addr, "jobs", *jobs, "store", *storeDir, "shard", *shardID)
+		} else {
+			logger.Info("listening", "addr", *addr, "jobs", *jobs, "store", *storeDir)
+		}
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -1,0 +1,19 @@
+// Package fleet implements the consistent-hash ring that shards the
+// comasrv content-addressed store across a fleet of replicas.
+//
+// Each member (a comasrv shard) is projected onto the ring at a fixed
+// number of virtual-node points derived only from its shard ID, so the
+// ring a member computes is identical on every shard that agrees on the
+// membership list, with no coordination. A request's SHA-256 content
+// address maps to the first virtual node clockwise; that member owns the
+// entry. Virtual nodes keep the load balanced (within a few percent at
+// the default 128 points per member) and make membership changes
+// minimally disruptive: joining or removing one member of n remaps only
+// the ~1/n of the key space that member owns, and never changes the
+// owner of a key both rings assign to a surviving member.
+//
+// The ring is immutable after construction; membership changes build a
+// new ring. Replicas enumerates the distinct members that follow the
+// owner clockwise, which the server uses to place best-effort copies of
+// hot entries.
+package fleet

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Member is one shard of the fleet: a stable identity (the ring position
+// depends only on ID) and the base URL peers reach it at.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// DefaultVirtualNodes is the per-member virtual-node count. 128 points
+// per member keeps the worst member within a few percent of the mean
+// share on realistic fleet sizes while the whole ring stays a few
+// kilobytes.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over a member set. Build
+// with New; a membership change builds a new Ring.
+type Ring struct {
+	members []Member // sorted by ID
+	vnodes  int
+	points  []point // sorted by hash
+}
+
+// point is one virtual node: a position on the ring and the index of the
+// member it belongs to.
+type point struct {
+	hash   uint64
+	member int32
+}
+
+// New builds a ring over members with vnodes virtual nodes per member
+// (0 selects DefaultVirtualNodes). Member IDs must be unique and
+// non-empty; order does not matter — the ring is canonical for a set.
+func New(members []Member, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet: empty membership")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	ms := make([]Member, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	for i, m := range ms {
+		if m.ID == "" {
+			return nil, fmt.Errorf("fleet: member with empty ID")
+		}
+		if i > 0 && ms[i-1].ID == m.ID {
+			return nil, fmt.Errorf("fleet: duplicate member ID %q", m.ID)
+		}
+	}
+	r := &Ring{members: ms, vnodes: vnodes, points: make([]point, 0, len(ms)*vnodes)}
+	for mi, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			h := sha256.Sum256([]byte(m.ID + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, point{hash: binary.BigEndian.Uint64(h[:8]), member: int32(mi)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision between two members' virtual nodes is
+		// astronomically unlikely; break the tie deterministically anyway
+		// so every shard agrees.
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Members returns the membership in canonical (ID-sorted) order.
+func (r *Ring) Members() []Member {
+	ms := make([]Member, len(r.members))
+	copy(ms, r.members)
+	return ms
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// VirtualNodes returns the per-member virtual-node count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// MemberByID returns the member with the given ID.
+func (r *Ring) MemberByID(id string) (Member, bool) {
+	i := sort.Search(len(r.members), func(i int) bool { return r.members[i].ID >= id })
+	if i < len(r.members) && r.members[i].ID == id {
+		return r.members[i], true
+	}
+	return Member{}, false
+}
+
+// ringHash positions a content address on the ring. The key is already a
+// SHA-256 digest, so its first eight bytes are uniformly distributed.
+func ringHash(key [sha256.Size]byte) uint64 {
+	return binary.BigEndian.Uint64(key[:8])
+}
+
+// firstPoint returns the index of the first virtual node clockwise from
+// key (wrapping past the top of the hash space).
+func (r *Ring) firstPoint(key [sha256.Size]byte) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the member that owns key: the member of the first
+// virtual node clockwise from the key's ring position.
+func (r *Ring) Owner(key [sha256.Size]byte) Member {
+	return r.members[r.points[r.firstPoint(key)].member]
+}
+
+// Replicas returns up to n distinct members for key in preference
+// order: the owner first, then the distinct members of the following
+// virtual nodes clockwise. n is clamped to the member count.
+func (r *Ring) Replicas(key [sha256.Size]byte, n int) []Member {
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Member, 0, n)
+	seen := make(map[int32]bool, n)
+	start := r.firstPoint(key)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		out = append(out, r.members[p.member])
+	}
+	return out
+}
+
+// ParseMembers parses the -peers flag form: a comma-separated list of
+// "id=url" entries naming every shard in the fleet (including the shard
+// parsing it).
+func ParseMembers(s string) ([]Member, error) {
+	var ms []Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rawURL, ok := strings.Cut(part, "=")
+		if !ok || id == "" || rawURL == "" {
+			return nil, fmt.Errorf("fleet: bad member %q (want id=url)", part)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("fleet: bad member URL %q (want e.g. http://host:port)", rawURL)
+		}
+		ms = append(ms, Member{ID: id, URL: strings.TrimRight(rawURL, "/")})
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("fleet: empty membership")
+	}
+	return ms, nil
+}

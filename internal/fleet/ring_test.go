@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{ID: fmt.Sprintf("s%02d", i), URL: fmt.Sprintf("http://127.0.0.1:%d", 18000+i)}
+	}
+	return ms
+}
+
+// digest derives a deterministic stream of content addresses: the test
+// keys are themselves SHA-256 outputs, exactly like real store keys.
+func digest(i int) [sha256.Size]byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return sha256.Sum256(b[:])
+}
+
+// The ring must spread 1e5 digests across 8 members within ±15% of the
+// perfect share at the default virtual-node count.
+func TestRingBalance(t *testing.T) {
+	const keys = 100000
+	members := testMembers(8)
+	r, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int, len(members))
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(digest(i)).ID]++
+	}
+	mean := float64(keys) / float64(len(members))
+	for _, m := range members {
+		got := float64(counts[m.ID])
+		dev := (got - mean) / mean
+		t.Logf("%s: %d keys (%+.1f%%)", m.ID, counts[m.ID], 100*dev)
+		if dev > 0.15 || dev < -0.15 {
+			t.Errorf("%s owns %.0f keys, more than 15%% from the mean %.0f", m.ID, got, mean)
+		}
+	}
+}
+
+// Ring construction must be canonical: member order must not matter.
+func TestRingCanonicalForMemberSet(t *testing.T) {
+	members := testMembers(5)
+	r1, err := New(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := make([]Member, len(members))
+	for i, m := range members {
+		reversed[len(members)-1-i] = m
+	}
+	r2, err := New(reversed, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		k := digest(i)
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("key %d: owner differs with member order (%s vs %s)", i, r1.Owner(k).ID, r2.Owner(k).ID)
+		}
+	}
+}
+
+// Removing one member of n must remap exactly the keys it owned — every
+// other key keeps its owner — and a join must only steal keys for the
+// new member, taking roughly a 1/(n+1) share.
+func TestRingMinimalRemap(t *testing.T) {
+	const keys = 100000
+	members := testMembers(6)
+	full, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("leave", func(t *testing.T) {
+		removed := members[2]
+		smaller, err := New(append(append([]Member{}, members[:2]...), members[3:]...), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < keys; i++ {
+			k := digest(i)
+			before, after := full.Owner(k), smaller.Owner(k)
+			if before.ID == removed.ID {
+				moved++
+				continue
+			}
+			if before != after {
+				t.Fatalf("key %d moved %s -> %s although %s did not leave", i, before.ID, after.ID, before.ID)
+			}
+		}
+		if frac, max := float64(moved)/keys, 1.5/float64(len(members)); frac > max {
+			t.Errorf("leave remapped %.1f%% of keys, want <= %.1f%%", 100*frac, 100*max)
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		joined := Member{ID: "s99", URL: "http://127.0.0.1:18099"}
+		bigger, err := New(append(append([]Member{}, members...), joined), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < keys; i++ {
+			k := digest(i)
+			before, after := full.Owner(k), bigger.Owner(k)
+			if before == after {
+				continue
+			}
+			if after.ID != joined.ID {
+				t.Fatalf("key %d moved %s -> %s although only %s joined", i, before.ID, after.ID, joined.ID)
+			}
+			moved++
+		}
+		frac := float64(moved) / keys
+		if max := 1.5 / float64(len(members)+1); frac > max {
+			t.Errorf("join remapped %.1f%% of keys, want <= %.1f%%", 100*frac, 100*max)
+		}
+		if frac == 0 {
+			t.Error("join remapped nothing; the new member owns no keys")
+		}
+	})
+}
+
+// Replicas must return distinct members led by the owner, clamped to the
+// fleet size.
+func TestRingReplicas(t *testing.T) {
+	r, err := New(testMembers(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := digest(i)
+		reps := r.Replicas(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %d: %d replicas, want 3", i, len(reps))
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("key %d: replicas[0] = %s, owner = %s", i, reps[0].ID, r.Owner(k).ID)
+		}
+		seen := map[string]bool{}
+		for _, m := range reps {
+			if seen[m.ID] {
+				t.Fatalf("key %d: duplicate replica %s", i, m.ID)
+			}
+			seen[m.ID] = true
+		}
+	}
+	if got := r.Replicas(digest(0), 99); len(got) != 4 {
+		t.Errorf("Replicas clamps to fleet size: got %d, want 4", len(got))
+	}
+}
+
+func TestNewRejectsBadMembership(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := New([]Member{{ID: "a"}, {ID: "a"}}, 0); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := New([]Member{{ID: ""}}, 0); err == nil {
+		t.Error("empty ID accepted")
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("s1=http://a:1, s2=http://b:2 ,s3=http://c:3/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[2].URL != "http://c:3" {
+		t.Fatalf("parsed %v", ms)
+	}
+	for _, bad := range []string{"", "nourl", "=http://a:1", "s1=", "s1=:junk"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}

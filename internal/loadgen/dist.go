@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist maps a draw to a key index in [0, n). Implementations are
+// deterministic given their seed and are not safe for concurrent use —
+// Run serializes draws so the issued key sequence is reproducible.
+type Dist interface {
+	Next() int
+}
+
+// NewDist builds the named distribution over n keys.
+//
+//   - "zipfian": rank-ordered popularity with exponent theta (YCSB's
+//     range, 0 < theta < 1; key 0 is the hottest)
+//   - "uniform": every key equally likely (theta unused)
+//   - "hotset": 90% of draws hit the first max(1, n/10) keys, the rest
+//     spread uniformly over the remainder (theta unused)
+func NewDist(name string, n int, theta float64, seed int64) (Dist, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: key universe must be positive, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "zipfian":
+		return newZipfian(n, theta, rng)
+	case "uniform":
+		return &uniform{n: n, rng: rng}, nil
+	case "hotset":
+		hot := n / 10
+		if hot < 1 {
+			hot = 1
+		}
+		return &hotSet{n: n, hot: hot, p: 0.9, rng: rng}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown distribution %q (known: zipfian, uniform, hotset)", name)
+	}
+}
+
+// zipfian draws ranks with P(rank i) proportional to 1/(i+1)^theta,
+// using Gray et al.'s constant-time method (the YCSB generator). It
+// covers theta in (0, 1) — the skew regime web and cache workloads are
+// modeled with — which math/rand's Zipf (s > 1) cannot express.
+type zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+func newZipfian(n int, theta float64, rng *rand.Rand) (*zipfian, error) {
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("loadgen: zipfian theta must be in (0, 1), got %g", theta)
+	}
+	z := &zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z, nil
+}
+
+// zeta is the truncated zeta sum over n ranks.
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfian) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if z.n > 1 && uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	k := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// uniform draws every key with equal probability.
+type uniform struct {
+	n   int
+	rng *rand.Rand
+}
+
+func (u *uniform) Next() int { return u.rng.Intn(u.n) }
+
+// hotSet draws from the first hot keys with probability p, uniformly
+// from the remainder otherwise.
+type hotSet struct {
+	n, hot int
+	p      float64
+	rng    *rand.Rand
+}
+
+func (h *hotSet) Next() int {
+	if h.hot >= h.n || h.rng.Float64() < h.p {
+		return h.rng.Intn(h.hot)
+	}
+	return h.hot + h.rng.Intn(h.n-h.hot)
+}

@@ -1,0 +1,15 @@
+// Package loadgen generates seeded, reproducible request streams
+// against one comasrv daemon or a whole fleet and measures how the
+// requests were served: throughput, latency percentiles, and the
+// local/peer/compute source split that the fleet's attraction-memory
+// behavior is judged by.
+//
+// The key universe is a deterministic list of simulation requests (a
+// fixed workload with a perturbed bandwidth multiplier per key, so every
+// key is a distinct content address in the same runtime class). A seeded
+// popularity distribution — zipfian (YCSB-style, theta in (0,1)),
+// uniform, or hot-set — maps each issued request to a key, so two runs
+// with the same seed issue the same key sequence regardless of worker
+// scheduling. Targets are driven round-robin: the point of the fleet is
+// that a client needs no ring knowledge, any shard serves any key.
+package loadgen

@@ -1,0 +1,373 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+// Config is one load-generation run.
+type Config struct {
+	// Targets are the daemon base URLs the run drives round-robin
+	// (required, at least one).
+	Targets []string
+	// Dist is the key-popularity distribution: zipfian (default),
+	// uniform, or hotset.
+	Dist string
+	// Theta is the zipfian exponent (default 0.99, YCSB's default;
+	// only used by the zipfian distribution).
+	Theta float64
+	// Keys is the key-universe size (default 64).
+	Keys int
+	// Seed makes the issued key sequence reproducible (default 1).
+	Seed int64
+	// Route picks the target per request: "rr" (default) spreads
+	// round-robin — the no-ring-knowledge client the fleet must serve
+	// via peer fill — while "ring" sends each key to its owner shard,
+	// the consistent-hash client that makes the fleet's distinct cache
+	// capacities add up. Ring routing needs the first target to report
+	// fleet membership; a single-shard target degrades to rr.
+	Route string
+	// Concurrency is the worker count (default 4).
+	Concurrency int
+	// Duration bounds the timed phase (default 5s).
+	Duration time.Duration
+	// MaxRequests additionally bounds the timed phase (0 = duration
+	// only).
+	MaxRequests int64
+	// Warm, when set, issues every key once before the timed phase,
+	// routed to its owner shard when the first target reports fleet
+	// membership — so the timed phase measures a populated fleet, not
+	// cold-start compute.
+	Warm bool
+	// Workload knobs for the key universe (defaults: fft, 8, 6% — the
+	// fastest runtime class, so compute cost does not drown the serving
+	// path being measured).
+	App   string
+	Procs int
+	MP    string
+	// Timeout bounds each request (default 2m).
+	Timeout time.Duration
+}
+
+// Result is what a run measured.
+type Result struct {
+	Shards     int     `json:"shards"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Shed       int64   `json:"shed"`
+	WarmedKeys int     `json:"warmed_keys"`
+	DurationS  float64 `json:"duration_s"`
+	// Throughput counts every completed 200 per second; CacheServed
+	// counts only those answered from a store (local or peer) — the
+	// number the fleet's scaling claim is about.
+	Throughput        float64 `json:"throughput_rps"`
+	CacheServedPerSec float64 `json:"cache_served_rps"`
+	// Source splits completed requests by how they were served. Single
+	// -shard daemons report no source header; cached responses count as
+	// "local", the rest as "compute".
+	Source map[string]int64 `json:"source"`
+	// PeerFillRatio is peer / (peer + compute): of the requests that
+	// missed locally, how many the fleet answered without recomputing.
+	PeerFillRatio float64 `json:"peer_fill_ratio"`
+	LatencyMsP50  float64 `json:"latency_ms_p50"`
+	LatencyMsP90  float64 `json:"latency_ms_p90"`
+	LatencyMsP99  float64 `json:"latency_ms_p99"`
+}
+
+func (c *Config) setDefaults() {
+	if c.Dist == "" {
+		c.Dist = "zipfian"
+	}
+	if c.Route == "" {
+		c.Route = "rr"
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
+	}
+	if c.Keys == 0 {
+		c.Keys = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 4
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.App == "" {
+		c.App = "fft"
+	}
+	if c.Procs == 0 {
+		c.Procs = 8
+	}
+	if c.MP == "" {
+		c.MP = "6%"
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Minute
+	}
+}
+
+// Universe returns the deterministic key universe: Keys distinct
+// simulation requests in one runtime class, distinguished by a perturbed
+// DRAM-bandwidth multiplier. Key i is the i-th most popular under the
+// zipfian and hot-set distributions.
+func (c Config) Universe() []server.SimRequest {
+	c.setDefaults()
+	reqs := make([]server.SimRequest, c.Keys)
+	for i := range reqs {
+		reqs[i] = server.SimRequest{
+			App: c.App, Procs: c.Procs, MP: c.MP,
+			DRAMBandwidth: 1 + float64(i+1)/1e6,
+		}
+	}
+	return reqs
+}
+
+// envelope is the slice of the simulate response the generator reads.
+type envelope struct {
+	Source string `json:"source"`
+	Cached bool   `json:"cached"`
+}
+
+// Run executes the configured load against the targets.
+func (c Config) Run(ctx context.Context) (Result, error) {
+	c.setDefaults()
+	if len(c.Targets) == 0 {
+		return Result{}, fmt.Errorf("loadgen: no targets")
+	}
+	dist, err := NewDist(c.Dist, c.Keys, c.Theta, c.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	universe := c.Universe()
+	bodies := make([][]byte, len(universe))
+	for i, r := range universe {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return Result{}, err
+		}
+		bodies[i] = b
+	}
+	if c.Route != "rr" && c.Route != "ring" {
+		return Result{}, fmt.Errorf("loadgen: unknown route %q (known: rr, ring)", c.Route)
+	}
+	client := &http.Client{Timeout: c.Timeout}
+	res := Result{Shards: len(c.Targets), Source: map[string]int64{}}
+
+	// owners[i] is key i's owner shard URL, when the targets are a
+	// fleet; warming always places keys at their owners, and ring
+	// routing keeps sending them there.
+	owners, err := c.keyOwners(ctx, universe)
+	if err != nil {
+		return Result{}, err
+	}
+
+	if c.Warm {
+		n, err := c.warm(ctx, client, owners, bodies)
+		if err != nil {
+			return Result{}, fmt.Errorf("loadgen: warm phase: %w", err)
+		}
+		res.WarmedKeys = n
+	}
+
+	// Timed phase. Key draws and target assignment happen under one
+	// lock, so the issued (key, target) sequence depends only on the
+	// seed; worker scheduling only affects completion order.
+	var (
+		mu        sync.Mutex
+		issued    int64
+		latencies []time.Duration
+	)
+	deadline := time.Now().Add(c.Duration)
+	tctx, cancel := context.WithDeadline(ctx, deadline.Add(c.Timeout))
+	defer cancel()
+	var wg sync.WaitGroup
+	var requests, errors, shed, local, peer, compute int64
+	counts := map[string]*int64{"local": &local, "peer": &peer, "compute": &compute}
+	start := time.Now()
+	for w := 0; w < c.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if time.Now().After(deadline) || (c.MaxRequests > 0 && issued >= c.MaxRequests) {
+					mu.Unlock()
+					return
+				}
+				idx := dist.Next()
+				target := c.Targets[int(issued)%len(c.Targets)]
+				if c.Route == "ring" && owners != nil {
+					target = owners[idx]
+				}
+				issued++
+				mu.Unlock()
+
+				t0 := time.Now()
+				src, status, err := c.post(tctx, client, target, bodies[idx])
+				lat := time.Since(t0)
+
+				mu.Lock()
+				switch {
+				case err != nil:
+					errors++
+				case status == http.StatusTooManyRequests:
+					shed++
+				case status != http.StatusOK:
+					errors++
+				default:
+					requests++
+					if p, ok := counts[src]; ok {
+						*p++
+					}
+					if len(latencies) < 1<<20 {
+						latencies = append(latencies, lat)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.Requests = requests
+	res.Errors = errors
+	res.Shed = shed
+	res.DurationS = elapsed.Seconds()
+	if elapsed > 0 {
+		res.Throughput = float64(requests) / elapsed.Seconds()
+		res.CacheServedPerSec = float64(local+peer) / elapsed.Seconds()
+	}
+	res.Source["local"], res.Source["peer"], res.Source["compute"] = local, peer, compute
+	if peer+compute > 0 {
+		res.PeerFillRatio = float64(peer) / float64(peer+compute)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.LatencyMsP50 = percentileMs(latencies, 0.50)
+	res.LatencyMsP90 = percentileMs(latencies, 0.90)
+	res.LatencyMsP99 = percentileMs(latencies, 0.99)
+	return res, nil
+}
+
+// post issues one simulate request and classifies the answer source.
+func (c Config) post(ctx context.Context, client *http.Client, target string, body []byte) (src string, status int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/simulate", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", resp.StatusCode, nil
+	}
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return "", 0, err
+	}
+	if env.Source == "" {
+		// Single-shard daemons omit the source; the cached flag carries
+		// the same local-vs-compute split.
+		if env.Cached {
+			return "local", resp.StatusCode, nil
+		}
+		return "compute", resp.StatusCode, nil
+	}
+	return env.Source, resp.StatusCode, nil
+}
+
+// keyOwners maps every universe key to its owner shard's URL using the
+// fleet membership the first target reports. A target that is not a
+// fleet (FleetInfo answers 404) yields nil — callers fall back to
+// round-robin.
+func (c Config) keyOwners(ctx context.Context, universe []server.SimRequest) ([]string, error) {
+	info, err := server.NewClient(c.Targets[0]).FleetInfo(ctx)
+	if err != nil {
+		return nil, nil
+	}
+	ring, err := fleet.New(info.Members, info.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	owners := make([]string, len(universe))
+	for i, r := range universe {
+		key, err := r.CanonicalKey()
+		if err != nil {
+			return nil, err
+		}
+		owners[i] = ring.Owner([sha256.Size]byte(key)).URL
+	}
+	return owners, nil
+}
+
+// warm issues every universe key once: to its owner shard when owners is
+// known, round-robin otherwise — populating the fleet the way the ring
+// will later look entries up.
+func (c Config) warm(ctx context.Context, client *http.Client, owners []string, bodies [][]byte) (int, error) {
+	targetFor := func(i int) string { return c.Targets[i%len(c.Targets)] }
+	if owners != nil {
+		targetFor = func(i int) string { return owners[i] }
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, len(bodies))
+	sem := make(chan struct{}, c.Concurrency)
+	var warmed int64
+	var mu sync.Mutex
+	for i := range bodies {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, status, err := c.post(ctx, client, targetFor(i), bodies[i])
+			if err != nil {
+				errc <- err
+				return
+			}
+			if status != http.StatusOK {
+				errc <- fmt.Errorf("warming key %d: HTTP %d", i, status)
+				return
+			}
+			mu.Lock()
+			warmed++
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return int(warmed), err
+	}
+	return int(warmed), nil
+}
+
+// percentileMs reads the p-th percentile from sorted latencies, in
+// milliseconds.
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}

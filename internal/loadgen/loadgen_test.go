@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Same seed, same draws: the issued key sequence is reproducible.
+func TestDistDeterminism(t *testing.T) {
+	for _, name := range []string{"zipfian", "uniform", "hotset"} {
+		a, err := NewDist(name, 128, 0.99, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewDist(name, 128, 0.99, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10000; i++ {
+			x, y := a.Next(), b.Next()
+			if x != y {
+				t.Fatalf("%s draw %d: %d vs %d with the same seed", name, i, x, y)
+			}
+			if x < 0 || x >= 128 {
+				t.Fatalf("%s draw %d out of range: %d", name, i, x)
+			}
+		}
+	}
+}
+
+// The zipfian at theta=0.99 must actually skew: the hottest key draws
+// far more than the uniform share, and popularity decreases with rank.
+func TestZipfianSkew(t *testing.T) {
+	const n, draws = 100, 200000
+	d, err := NewDist("zipfian", n, 0.99, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[d.Next()]++
+	}
+	uniformShare := float64(draws) / n
+	if float64(counts[0]) < 10*uniformShare {
+		t.Fatalf("hottest key drew %d of %d (%.1fx uniform), want >= 10x — not zipfian",
+			counts[0], draws, float64(counts[0])/uniformShare)
+	}
+	if counts[0] < counts[n/2] || counts[n/2] < counts[n-1] {
+		t.Fatalf("popularity not rank-ordered: rank0=%d rank%d=%d rank%d=%d",
+			counts[0], n/2, counts[n/2], n-1, counts[n-1])
+	}
+}
+
+func TestHotSetConcentration(t *testing.T) {
+	const n, draws = 100, 50000
+	d, err := NewDist("hotset", n, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for i := 0; i < draws; i++ {
+		if d.Next() < n/10 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot-set fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestDistRejectsBadConfig(t *testing.T) {
+	if _, err := NewDist("zipfian", 10, 1.5, 1); err == nil {
+		t.Fatal("theta=1.5 accepted; zipfian must reject theta outside (0,1)")
+	}
+	if _, err := NewDist("bogus", 10, 0.5, 1); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if _, err := NewDist("uniform", 0, 0, 1); err == nil {
+		t.Fatal("empty key universe accepted")
+	}
+}
+
+// The key universe is deterministic and every key is a distinct content
+// address.
+func TestUniverseDeterministicAndDistinct(t *testing.T) {
+	cfg := Config{Keys: 32}
+	a, b := cfg.Universe(), cfg.Universe()
+	if len(a) != 32 {
+		t.Fatalf("universe size = %d, want 32", len(a))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("universe not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		key, err := a[i].CanonicalKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[key.String()] {
+			t.Fatalf("duplicate content address at %d: %s", i, key)
+		}
+		seen[key.String()] = true
+	}
+}
+
+// A short seeded run against a real single-shard daemon completes with
+// zero client errors and a sane source split (everything local or
+// compute, nothing peer).
+func TestRunSingleShard(t *testing.T) {
+	srv, err := server.New(server.Config{Jobs: 4, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cfg := Config{
+		Targets:     []string{ts.URL},
+		Keys:        8,
+		Seed:        5,
+		Concurrency: 2,
+		Duration:    30 * time.Second, // MaxRequests bounds the run
+		MaxRequests: 40,
+		Warm:        true,
+	}
+	res, err := cfg.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("run reported %d errors", res.Errors)
+	}
+	if res.WarmedKeys != 8 {
+		t.Fatalf("warmed %d keys, want 8", res.WarmedKeys)
+	}
+	if res.Requests != 40 {
+		t.Fatalf("requests = %d, want 40", res.Requests)
+	}
+	if res.Source["peer"] != 0 {
+		t.Fatalf("single shard reported peer-served requests: %+v", res.Source)
+	}
+	// Every key was warmed, so the timed phase is all local hits.
+	if res.Source["local"] != 40 {
+		t.Fatalf("source split = %+v, want all 40 local after a full warm", res.Source)
+	}
+	if res.Throughput <= 0 || res.LatencyMsP50 <= 0 {
+		t.Fatalf("degenerate measurements: %+v", res)
+	}
+}

@@ -188,6 +188,18 @@ func (c *Client) Trace(ctx context.Context, id string) (tracing.TraceData, error
 	return td, err
 }
 
+// FleetInfo fetches the shard's ring membership and peer-reachability
+// view; it errors on a single-shard daemon.
+func (c *Client) FleetInfo(ctx context.Context) (FleetInfo, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/fleet", nil)
+	if err != nil {
+		return FleetInfo{}, err
+	}
+	var fi FleetInfo
+	err = decode(resp, &fi)
+	return fi, err
+}
+
 // Metrics fetches the service counters.
 func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/v1/metrics", nil)

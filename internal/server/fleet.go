@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs/tracing"
+	"repro/internal/server/store"
+)
+
+// FleetConfig turns the daemon into one shard of a consistent-hash
+// fleet: the membership list is identical on every shard, ShardID names
+// which member this process is, and the ring derived from the list
+// routes every content address to an owner shard. On a local store miss
+// a non-owner fetches the entry from its owner (peer fill) before
+// falling back to recomputing it, and entries that prove hot are pushed
+// best-effort to the next Replicas-1 distinct members clockwise.
+type FleetConfig struct {
+	// ShardID is this process's member ID; it must appear in Members.
+	ShardID string
+	// Members is the whole fleet, including this shard.
+	Members []fleet.Member
+	// VirtualNodes per member (0 = fleet.DefaultVirtualNodes).
+	VirtualNodes int
+	// Replicas is the total copy target for hot entries, owner included
+	// (0 = 2; 1 disables replication).
+	Replicas int
+	// ReplicateAfter is the hit count that promotes an entry to its
+	// replica set (0 = 3; < 0 disables replication).
+	ReplicateAfter int
+	// PeerTimeout bounds each peer-fill and replication request
+	// (0 = 2s). A slow peer degrades to recompute, never to an error.
+	PeerTimeout time.Duration
+	// ProbeInterval is the background peer-health probe period
+	// (0 = 5s; < 0 disables the prober — tests).
+	ProbeInterval time.Duration
+}
+
+// hitTableCap bounds the replication hit-count table; when it fills,
+// cold counters are dropped and counting restarts (replication is
+// best-effort, the table must not grow with the key space).
+const hitTableCap = 8192
+
+// fleetState is the per-server fleet runtime: the immutable ring plus
+// the mutable hit-count and peer-reachability tables.
+type fleetState struct {
+	cfg    FleetConfig
+	ring   *fleet.Ring
+	self   fleet.Member
+	client *http.Client
+
+	mu    sync.Mutex
+	hits  map[store.Key]int // -1 = already promoted to the replica set
+	reach map[string]bool   // peer ID -> last contact succeeded
+}
+
+// newFleet validates the fleet configuration and builds the ring.
+func newFleet(cfg FleetConfig) (*fleetState, error) {
+	ring, err := fleet.New(cfg.Members, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	self, ok := ring.MemberByID(cfg.ShardID)
+	if !ok {
+		return nil, fmt.Errorf("fleet: shard ID %q is not in the membership list", cfg.ShardID)
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.ReplicateAfter == 0 {
+		cfg.ReplicateAfter = 3
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 2 * time.Second
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 5 * time.Second
+	}
+	return &fleetState{
+		cfg:    cfg,
+		ring:   ring,
+		self:   self,
+		client: &http.Client{Timeout: cfg.PeerTimeout},
+		hits:   make(map[store.Key]int),
+		reach:  make(map[string]bool),
+	}, nil
+}
+
+func (f *fleetState) setReach(peerID string, ok bool) {
+	f.mu.Lock()
+	f.reach[peerID] = ok
+	f.mu.Unlock()
+}
+
+// peerView snapshots the reachability table in canonical member order,
+// self excluded.
+func (f *fleetState) peerView() []PeerHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []PeerHealth
+	for _, m := range f.ring.Members() {
+		if m.ID == f.self.ID {
+			continue
+		}
+		out = append(out, PeerHealth{ID: m.ID, URL: m.URL, Reachable: f.reach[m.ID]})
+	}
+	return out
+}
+
+// checksumHeader carries the SHA-256 of a fleet entry payload so a
+// filled or replicated entry is verified end to end; a mismatch is
+// treated as a miss and the entry is recomputed, never served.
+const checksumHeader = "X-Comasrv-Sum"
+
+// entryPath is the peer API path for a content address.
+func entryPath(key store.Key) string { return "/v1/fleet/entries/" + key.String() }
+
+// peerFill tries to fetch key from its owner shard. It returns the
+// payload and true only on a verified hit; every failure mode (self is
+// the owner, peer down, slow, non-200, corrupt payload) reports false so
+// the caller falls back to computing. The fetch runs inside a
+// "peer.fill" child span that propagates the request's trace ID to the
+// peer and records the peer's echoed trace ID, so a routed request reads
+// as one stitched trace.
+func (s *Server) peerFill(ctx context.Context, key store.Key) ([]byte, bool) {
+	f := s.fleet
+	owner := f.ring.Owner([sha256.Size]byte(key))
+	if owner.ID == f.self.ID {
+		return nil, false
+	}
+	span := tracing.FromContext(ctx).StartChild("peer.fill")
+	defer span.End()
+	span.SetAttr("peer", owner.ID)
+	span.SetAttr("key", key.String())
+
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner.URL+entryPath(key), nil)
+	if err != nil {
+		span.SetErr(err)
+		s.counters.peerFillErrors.Add(1)
+		return nil, false
+	}
+	req.Header.Set("X-Trace-Id", span.TraceID())
+	resp, err := f.client.Do(req)
+	if err != nil {
+		span.SetErr(err)
+		s.counters.peerFillErrors.Add(1)
+		f.setReach(owner.ID, false)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	f.setReach(owner.ID, true)
+	span.SetAttr("peer_trace_id", resp.Header.Get("X-Trace-Id"))
+	if resp.StatusCode == http.StatusNotFound {
+		span.SetAttr("outcome", "miss")
+		s.counters.peerFillMisses.Add(1)
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		span.SetErr(fmt.Errorf("peer %s: HTTP %d", owner.ID, resp.StatusCode))
+		s.counters.peerFillErrors.Add(1)
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		span.SetErr(err)
+		s.counters.peerFillErrors.Add(1)
+		return nil, false
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != resp.Header.Get(checksumHeader) {
+		span.SetErr(fmt.Errorf("peer %s: payload checksum mismatch", owner.ID))
+		s.counters.peerFillErrors.Add(1)
+		return nil, false
+	}
+	span.SetAttr("outcome", "hit")
+	s.counters.peerFillHits.Add(1)
+	return body, true
+}
+
+// noteHit counts a cache hit against key and, when the hit count trips
+// the replication threshold, promotes the entry to its replica set in
+// the background. The count table is bounded: when full, cold counters
+// are dropped.
+func (s *Server) noteHit(key store.Key) {
+	f := s.fleet
+	if f == nil || f.cfg.ReplicateAfter < 0 || f.cfg.Replicas < 2 || f.ring.Len() < 2 {
+		return
+	}
+	f.mu.Lock()
+	c, ok := f.hits[key]
+	if c == -1 {
+		f.mu.Unlock()
+		return
+	}
+	if !ok && len(f.hits) >= hitTableCap {
+		for k, v := range f.hits {
+			if v != -1 {
+				delete(f.hits, k)
+				break
+			}
+		}
+	}
+	c++
+	if c < f.cfg.ReplicateAfter {
+		f.hits[key] = c
+		f.mu.Unlock()
+		return
+	}
+	f.hits[key] = -1
+	f.mu.Unlock()
+	go s.replicate(key)
+}
+
+// replicate pushes key's payload to the next Replicas-1 distinct members
+// clockwise from the owner. Failures are counted and otherwise ignored:
+// replication is purely an optimization, correctness comes from peer
+// fill and recompute.
+func (s *Server) replicate(key store.Key) {
+	f := s.fleet
+	body, ok := s.store.Get(key)
+	if !ok {
+		return
+	}
+	sum := sha256.Sum256(body)
+	for _, m := range f.ring.Replicas([sha256.Size]byte(key), f.cfg.Replicas) {
+		if m.ID == f.self.ID {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(s.baseCtx, f.cfg.PeerTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, m.URL+entryPath(key), bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set(checksumHeader, hex.EncodeToString(sum[:]))
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := f.client.Do(req)
+		cancel()
+		if err != nil {
+			s.counters.replicationErrors.Add(1)
+			f.setReach(m.ID, false)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		f.setReach(m.ID, true)
+		if resp.StatusCode/100 != 2 {
+			s.counters.replicationErrors.Add(1)
+			continue
+		}
+		s.counters.replicationPushed.Add(1)
+	}
+}
+
+// probePeers is the background reachability prober: it GETs every
+// peer's /v1/healthz on a fixed interval so the peer-reachability gauge
+// reflects liveness, not just the last fill/replication attempt.
+func (s *Server) probePeers() {
+	f := s.fleet
+	probe := func() {
+		for _, m := range f.ring.Members() {
+			if m.ID == f.self.ID {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(s.baseCtx, f.cfg.PeerTimeout)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+"/v1/healthz", nil)
+			if err != nil {
+				cancel()
+				continue
+			}
+			resp, err := f.client.Do(req)
+			cancel()
+			if err != nil {
+				f.setReach(m.ID, false)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			f.setReach(m.ID, resp.StatusCode == http.StatusOK)
+		}
+	}
+	probe()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			probe()
+		}
+	}
+}
+
+// --- fleet handlers ---------------------------------------------------
+
+// FleetInfo is the GET /v1/fleet payload: this shard's identity, the
+// ring parameters, and the reachability view of every peer.
+type FleetInfo struct {
+	ShardID        string         `json:"shard_id"`
+	Members        []fleet.Member `json:"members"`
+	VirtualNodes   int            `json:"virtual_nodes"`
+	Replicas       int            `json:"replicas"`
+	ReplicateAfter int            `json:"replicate_after"`
+	Peers          []PeerHealth   `json:"peers"`
+}
+
+// PeerHealth is one peer's reachability as seen by this shard.
+type PeerHealth struct {
+	ID        string `json:"id"`
+	URL       string `json:"url"`
+	Reachable bool   `json:"reachable"`
+}
+
+// errFleetDisabled answers the fleet endpoints on a single-shard daemon.
+var errFleetDisabled = &apiError{status: http.StatusNotFound, msg: "fleet mode is not enabled (start with -shard-id and -peers)"}
+
+func (s *Server) handleFleetInfo(w http.ResponseWriter, r *http.Request) {
+	f := s.fleet
+	if f == nil {
+		writeErr(w, errFleetDisabled.status, errFleetDisabled)
+		return
+	}
+	writeJSON(w, http.StatusOK, FleetInfo{
+		ShardID:        f.self.ID,
+		Members:        f.ring.Members(),
+		VirtualNodes:   f.ring.VirtualNodes(),
+		Replicas:       f.cfg.Replicas,
+		ReplicateAfter: f.cfg.ReplicateAfter,
+		Peers:          f.peerView(),
+	})
+}
+
+// handleFleetEntryGet serves a raw store entry to a peer. It only ever
+// consults the local store — no recompute, no forwarding — so a fill
+// chain is at most one hop deep and can never recurse.
+func (s *Server) handleFleetEntryGet(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeErr(w, errFleetDisabled.status, errFleetDisabled)
+		return
+	}
+	key, err := store.ParseKey(r.PathValue("key"))
+	if err != nil {
+		s.counters.badRequests.Add(1)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	body, ok := s.store.Get(key)
+	if !ok {
+		s.counters.peerServedMisses.Add(1)
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no entry for %s", key))
+		return
+	}
+	s.counters.peerServed.Add(1)
+	s.noteHit(key)
+	sum := sha256.Sum256(body)
+	w.Header().Set(checksumHeader, hex.EncodeToString(sum[:]))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// handleFleetEntryPut accepts a best-effort replica push: the payload is
+// verified against its checksum header and stored under the given key.
+func (s *Server) handleFleetEntryPut(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeErr(w, errFleetDisabled.status, errFleetDisabled)
+		return
+	}
+	key, err := store.ParseKey(r.PathValue("key"))
+	if err != nil {
+		s.counters.badRequests.Add(1)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		s.counters.badRequests.Add(1)
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != r.Header.Get(checksumHeader) {
+		s.counters.badRequests.Add(1)
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("payload does not match %s header", checksumHeader))
+		return
+	}
+	if err := s.store.Put(key, body); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.counters.replicationReceived.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/server/store"
 )
@@ -30,6 +31,9 @@ type JobView struct {
 	Key string `json:"key"`
 	// Cached reports whether the finished result came from the store.
 	Cached bool `json:"cached,omitempty"`
+	// Source is the fleet-mode hit attribution ("local", "peer" or
+	// "compute"); empty on single-shard daemons.
+	Source string `json:"source,omitempty"`
 	// Error carries the failure message for failed/cancelled jobs.
 	Error string `json:"error,omitempty"`
 	// ResultURL is where to fetch the body once Status is done.
@@ -48,12 +52,16 @@ type job struct {
 	body        []byte
 	contentType string
 	cached      bool
+	source      string
+	// finishedAt is when the job left the queued/running states; the
+	// TTL sweeper evicts finished jobs older than Config.JobTTL.
+	finishedAt time.Time
 }
 
 func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	v := JobView{ID: j.id, Status: j.status, Key: j.key.String(), Cached: j.cached, Error: j.err}
+	v := JobView{ID: j.id, Status: j.status, Key: j.key.String(), Cached: j.cached, Source: j.source, Error: j.err}
 	if j.status == JobDone {
 		v.ResultURL = "/v1/jobs/" + j.id + "/result"
 	}
@@ -72,12 +80,13 @@ func (j *job) setRunning() bool {
 	return true
 }
 
-func (j *job) finish(body []byte, contentType string, cached bool, err error) {
+func (j *job) finish(body []byte, contentType string, cached bool, source string, err error, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status == JobCancelled {
 		return // cancellation outcome wins over a racing completion
 	}
+	j.finishedAt = now
 	if err != nil {
 		j.status = JobFailed
 		if errors.Is(err, context.Canceled) {
@@ -90,13 +99,15 @@ func (j *job) finish(body []byte, contentType string, cached bool, err error) {
 	j.body = body
 	j.contentType = contentType
 	j.cached = cached
+	j.source = source
 }
 
-func (j *job) markCancelled() {
+func (j *job) markCancelled(now time.Time) {
 	j.mu.Lock()
 	if j.status == JobQueued || j.status == JobRunning {
 		j.status = JobCancelled
 		j.err = "cancelled by client"
+		j.finishedAt = now
 	}
 	j.mu.Unlock()
 }
@@ -104,6 +115,74 @@ func (j *job) markCancelled() {
 // maxJobs bounds the retained job table; the oldest finished jobs are
 // evicted first so a polling client only loses results it abandoned.
 const maxJobs = 1024
+
+// DefaultJobTTL is how long finished async jobs stay queryable when
+// Config.JobTTL is zero. Before the TTL sweeper existed the table only
+// shrank under maxJobs pressure, so a long-lived daemon retained up to
+// 1024 finished bodies forever.
+const DefaultJobTTL = 15 * time.Minute
+
+// jobTTL resolves the configured TTL.
+func (s *Server) jobTTL() time.Duration {
+	if s.cfg.JobTTL > 0 {
+		return s.cfg.JobTTL
+	}
+	return DefaultJobTTL
+}
+
+// sweepJobs is the background TTL sweeper: finished jobs older than the
+// TTL are evicted so the job table tracks live work, not history. It
+// runs until the server closes.
+func (s *Server) sweepJobs() {
+	ttl := s.jobTTL()
+	interval := ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.evictExpiredJobs()
+		}
+	}
+}
+
+// evictExpiredJobs drops finished jobs whose TTL has elapsed, counting
+// each eviction.
+func (s *Server) evictExpiredJobs() {
+	cutoff := s.now().Add(-s.jobTTL())
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		j.mu.Lock()
+		expired := !j.finishedAt.IsZero() && j.finishedAt.Before(cutoff) &&
+			(j.status == JobDone || j.status == JobFailed || j.status == JobCancelled)
+		j.mu.Unlock()
+		if expired {
+			delete(s.jobs, id)
+			s.counters.jobsEvicted.Add(1)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// retainedJobs is the job-table size gauge.
+func (s *Server) retainedJobs() int {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return len(s.jobs)
+}
 
 // newJob registers a queued job and returns it.
 func (s *Server) newJob(key store.Key, cancel context.CancelFunc) *job {

@@ -23,13 +23,22 @@ type Metrics struct {
 	CacheBypassed    int64 `json:"cache_bypassed"`
 	JobsCreated      int64 `json:"jobs_created"`
 	JobsCancelled    int64 `json:"jobs_cancelled"`
+	JobsEvicted      int64 `json:"jobs_evicted"`
+	JobsRetained     int   `json:"jobs_retained"`
 	ActiveFlights    int64 `json:"active_flights"`
 	SimSlots         int64 `json:"sim_slots"`
 	SimulatedExecNs  int64 `json:"simulated_exec_ns"`
 	SimulatedRuns    int64 `json:"simulated_runs"`
+	// LoadShed counts computations rejected with 429 by admission
+	// control (Config.MaxQueue).
+	LoadShed int64 `json:"load_shed"`
 
 	// Store is the result store's counters.
 	Store store.Stats `json:"store"`
+
+	// Fleet is present only in fleet mode: the peer-fill and
+	// replication counters for this shard.
+	Fleet *FleetMetrics `json:"fleet,omitempty"`
 
 	// Obs aggregates instrumentation events across all executed
 	// simulations (see internal/obs for the taxonomy).
@@ -45,6 +54,25 @@ type ObsMetrics struct {
 	WBStallNs   int64            `json:"wb_stall_ns"`
 }
 
+// FleetMetrics is the fleet-mode slice of /v1/metrics: how this shard's
+// misses were resolved against its peers and what it pushed to them.
+type FleetMetrics struct {
+	ShardID string `json:"shard_id"`
+	Members int    `json:"members"`
+	// Peer fill (this shard asking owners).
+	PeerFillHits   int64 `json:"peer_fill_hits"`
+	PeerFillMisses int64 `json:"peer_fill_misses"`
+	PeerFillErrors int64 `json:"peer_fill_errors"`
+	// Peer serving (owners asking this shard).
+	PeerServed       int64 `json:"peer_served"`
+	PeerServedMisses int64 `json:"peer_served_misses"`
+	// Hot-entry replication.
+	ReplicationPushed   int64 `json:"replication_pushed"`
+	ReplicationReceived int64 `json:"replication_received"`
+	ReplicationErrors   int64 `json:"replication_errors"`
+	ReachablePeers      int   `json:"reachable_peers"`
+}
+
 // counters is the server's internal mutable state behind Metrics.
 type counters struct {
 	requests         atomic.Int64
@@ -56,9 +84,20 @@ type counters struct {
 	cacheBypassed    atomic.Int64
 	jobsCreated      atomic.Int64
 	jobsCancelled    atomic.Int64
+	jobsEvicted      atomic.Int64
 	activeFlights    atomic.Int64
 	simulatedExecNs  atomic.Int64
 	simulatedRuns    atomic.Int64
+	loadShed         atomic.Int64
+
+	peerFillHits        atomic.Int64
+	peerFillMisses      atomic.Int64
+	peerFillErrors      atomic.Int64
+	peerServed          atomic.Int64
+	peerServedMisses    atomic.Int64
+	replicationPushed   atomic.Int64
+	replicationReceived atomic.Int64
+	replicationErrors   atomic.Int64
 }
 
 // lockedCounting is a concurrency-safe obs sink shared by every machine

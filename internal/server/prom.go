@@ -116,8 +116,10 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("comasrv_cache_bypassed_total", "Requests that forced recomputation (nocache).", c.cacheBypassed.Load())
 	p.counter("comasrv_jobs_created_total", "Asynchronous jobs accepted.", c.jobsCreated.Load())
 	p.counter("comasrv_jobs_cancelled_total", "Asynchronous jobs cancelled by clients.", c.jobsCancelled.Load())
+	p.counter("comasrv_jobs_evicted_total", "Finished asynchronous jobs evicted after their TTL.", c.jobsEvicted.Load())
 	p.counter("comasrv_simulated_runs_total", "Simulation results produced for /v1/simulate.", c.simulatedRuns.Load())
 	p.counter("comasrv_simulated_exec_ns_total", "Simulated (virtual) nanoseconds executed for /v1/simulate.", c.simulatedExecNs.Load())
+	p.counter("comasrv_load_shed_total", "Computations rejected with 429 by admission control.", c.loadShed.Load())
 
 	// Pool and job occupancy.
 	p.gauge("comasrv_active_flights", "Computations currently executing.", float64(c.activeFlights.Load()))
@@ -128,6 +130,35 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.header("comasrv_jobs", "Asynchronous jobs by live state.", "gauge")
 	p.labeled("comasrv_jobs", "status", "queued", queued)
 	p.labeled("comasrv_jobs", "status", "running", running)
+	p.gauge("comasrv_jobs_retained", "Asynchronous jobs currently held in the job table.", float64(s.retainedJobs()))
+
+	// Fleet: shard identity, ring membership and peer traffic, so a
+	// per-shard dashboard can label every series by shard.
+	if f := s.fleet; f != nil {
+		p.header("comasrv_shard_info", "Fleet shard identity (value is always 1).", "gauge")
+		fmt.Fprintf(&p.b, "comasrv_shard_info{shard_id=%q,members=\"%d\",virtual_nodes=\"%d\"} 1\n",
+			f.self.ID, f.ring.Len(), f.ring.VirtualNodes())
+		p.gauge("comasrv_fleet_members", "Shards in the configured ring membership.", float64(f.ring.Len()))
+		peers := f.peerView()
+		p.header("comasrv_peer_reachable", "Peer reachability as probed by this shard (1 = reachable).", "gauge")
+		for _, peer := range peers {
+			v := int64(0)
+			if peer.Reachable {
+				v = 1
+			}
+			p.labeled("comasrv_peer_reachable", "peer", peer.ID, v)
+		}
+		p.header("comasrv_peer_fill_total", "Peer-fill attempts against owner shards by outcome.", "counter")
+		p.labeled("comasrv_peer_fill_total", "outcome", "hit", c.peerFillHits.Load())
+		p.labeled("comasrv_peer_fill_total", "outcome", "miss", c.peerFillMisses.Load())
+		p.labeled("comasrv_peer_fill_total", "outcome", "error", c.peerFillErrors.Load())
+		p.header("comasrv_peer_served_total", "Fleet entry reads served to peers by outcome.", "counter")
+		p.labeled("comasrv_peer_served_total", "outcome", "hit", c.peerServed.Load())
+		p.labeled("comasrv_peer_served_total", "outcome", "miss", c.peerServedMisses.Load())
+		p.counter("comasrv_replication_pushed_total", "Hot entries pushed to replica shards.", c.replicationPushed.Load())
+		p.counter("comasrv_replication_received_total", "Replica entries accepted from peers.", c.replicationReceived.Load())
+		p.counter("comasrv_replication_errors_total", "Failed replication pushes.", c.replicationErrors.Load())
+	}
 
 	// Result store.
 	st := s.store.Stats()

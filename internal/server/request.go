@@ -237,6 +237,18 @@ func (r *SimRequest) normalize() (config.Machine, error) {
 	return cfg, nil
 }
 
+// CanonicalKey validates the request and returns the content address of
+// its canonical form without executing it — the "key" field /v1/simulate
+// would report. Clients (the load generator, the CI smoke test) use it
+// to route or verify requests offline; the receiver cannot be tricked
+// into a different address because it re-canonicalizes independently.
+func (r SimRequest) CanonicalKey() (store.Key, error) {
+	if _, err := r.normalize(); err != nil {
+		return store.Key{}, err
+	}
+	return r.key(), nil
+}
+
 // key content-addresses the normalized request.
 func (r *SimRequest) key() store.Key {
 	c := canonSim{

@@ -2,8 +2,14 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
+
+// errSaturated is returned by AcquireBounded instead of queueing when
+// the waiter queue is already at the admission-control bound; the
+// request path translates it into a fast 429 with Retry-After.
+var errSaturated = errors.New("server: simulation queue is full")
 
 // weighted is a small weighted semaphore (stdlib-only, context-aware):
 // the daemon's simulation pool. A single-run flight acquires one slot; a
@@ -51,6 +57,14 @@ func (w *weighted) Waiting() int64 {
 // Acquire blocks until n slots (clamped to the pool size) are held or
 // ctx is done.
 func (w *weighted) Acquire(ctx context.Context, n int64) error {
+	return w.AcquireBounded(ctx, n, 0)
+}
+
+// AcquireBounded is Acquire with admission control: when the acquisition
+// cannot be granted immediately and maxQueue (> 0) waiters are already
+// queued, it fails fast with errSaturated instead of queueing unboundedly.
+// maxQueue <= 0 means no bound.
+func (w *weighted) AcquireBounded(ctx context.Context, n int64, maxQueue int) error {
 	if n > w.size {
 		n = w.size
 	}
@@ -62,6 +76,10 @@ func (w *weighted) Acquire(ctx context.Context, n int64) error {
 		w.cur += n
 		w.mu.Unlock()
 		return nil
+	}
+	if maxQueue > 0 && len(w.waiters) >= maxQueue {
+		w.mu.Unlock()
+		return errSaturated
 	}
 	wt := &waiter{n: n, ready: make(chan struct{})}
 	w.waiters = append(w.waiters, wt)

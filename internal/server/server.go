@@ -43,6 +43,18 @@ type Config struct {
 	// status, duration). nil discards; cmd/comasrv wires one from its
 	// -log flag.
 	Logger *slog.Logger
+	// MaxQueue is the admission-control bound on the simulation pool's
+	// waiter queue: a computation that cannot start while MaxQueue
+	// acquisitions are already waiting is shed with a fast 429 +
+	// Retry-After instead of queueing. 0 = unbounded (the pre-fleet
+	// behavior).
+	MaxQueue int
+	// Fleet, when non-nil, runs this daemon as one shard of a
+	// consistent-hash fleet (see FleetConfig).
+	Fleet *FleetConfig
+	// JobTTL bounds how long finished async jobs stay queryable before
+	// the background sweeper evicts them (0 = 15 minutes).
+	JobTTL time.Duration
 }
 
 // Server is the comasrv HTTP API: the experiment engine behind
@@ -65,9 +77,12 @@ type Server struct {
 	jobs     map[string]*job
 	jobOrder []string
 	jobSeq   int
+	// now is the job-eviction clock, injectable by the TTL tests.
+	now func() time.Time
 
 	counters counters
 	obsSink  *lockedCounting
+	fleet    *fleetState
 
 	logger  *slog.Logger
 	tracer  *tracing.Tracer
@@ -90,8 +105,20 @@ type flightKey struct {
 type flight struct {
 	done chan struct{}
 	body []byte
+	src  source
 	err  error
 }
+
+// source says where a response body came from. In fleet mode it is
+// surfaced to clients (SimEnvelope.Source, X-Comasrv-Source) so the
+// load generator can attribute every hit.
+type source string
+
+const (
+	srcLocal   source = "local"   // this shard's store
+	srcPeer    source = "peer"    // filled from the owner shard's store
+	srcCompute source = "compute" // simulated here
+)
 
 // New opens the store and builds the handler. Callers own the listener;
 // Server implements http.Handler.
@@ -122,7 +149,19 @@ func New(cfg Config) (*Server, error) {
 		started:   time.Now(),
 		reqDur:    newHistogram(durationBuckets...),
 		queueWait: newHistogram(durationBuckets...),
+		now:       time.Now,
 	}
+	if cfg.Fleet != nil {
+		s.fleet, err = newFleet(*cfg.Fleet)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		if s.fleet.cfg.ProbeInterval > 0 {
+			go s.probePeers()
+		}
+	}
+	go s.sweepJobs()
 	s.mux = http.NewServeMux()
 	for _, r := range Routes() {
 		switch r {
@@ -144,6 +183,12 @@ func New(cfg Config) (*Server, error) {
 			s.mux.HandleFunc(r, s.handleJobCancel)
 		case "GET /v1/traces/{id}":
 			s.mux.HandleFunc(r, s.handleTrace)
+		case "GET /v1/fleet":
+			s.mux.HandleFunc(r, s.handleFleetInfo)
+		case "GET /v1/fleet/entries/{key}":
+			s.mux.HandleFunc(r, s.handleFleetEntryGet)
+		case "PUT /v1/fleet/entries/{key}":
+			s.mux.HandleFunc(r, s.handleFleetEntryPut)
 		case "GET /metrics":
 			s.mux.HandleFunc(r, s.handlePromMetrics)
 		default:
@@ -166,6 +211,9 @@ func Routes() []string {
 		"GET /v1/jobs/{id}/result",
 		"DELETE /v1/jobs/{id}",
 		"GET /v1/traces/{id}",
+		"GET /v1/fleet",
+		"GET /v1/fleet/entries/{key}",
+		"PUT /v1/fleet/entries/{key}",
 		"GET /metrics",
 	}
 }
@@ -179,6 +227,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.counters.requests.Add(1)
 	span := s.tracer.StartRoot(r.Method+" "+r.URL.Path, r.Header.Get("X-Trace-Id"))
 	w.Header().Set("X-Trace-Id", span.TraceID())
+	if s.fleet != nil {
+		w.Header().Set("X-Comasrv-Shard", s.fleet.self.ID)
+	}
 	sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r.WithContext(tracing.NewContext(r.Context(), span)))
@@ -221,6 +272,9 @@ func (s *Server) Store() *store.Store { return s.store }
 type apiError struct {
 	status int
 	msg    string
+	// retryAfter, when positive, is surfaced as a Retry-After header
+	// (load shedding).
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -240,6 +294,10 @@ func errStatus(err error) int {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) && ae.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
@@ -258,7 +316,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func decodeBody(r *http.Request, v any) error {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		return &apiError{http.StatusBadRequest, "reading body: " + err.Error()}
+		return &apiError{status: http.StatusBadRequest, msg: "reading body: " + err.Error()}
 	}
 	if len(bytes.TrimSpace(body)) == 0 {
 		return nil
@@ -266,7 +324,7 @@ func decodeBody(r *http.Request, v any) error {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return &apiError{http.StatusBadRequest, "bad request body: " + err.Error()}
+		return &apiError{status: http.StatusBadRequest, msg: "bad request body: " + err.Error()}
 	}
 	return nil
 }
@@ -294,11 +352,13 @@ func (s *Server) newRunner(ctx context.Context, procs, jobs int) *experiments.Ru
 }
 
 // execute is the shared request path: store lookup, singleflight
-// collapse, slot acquisition, compute, store fill. weight is the number
-// of simulation slots the computation needs (1 for a single run, the
-// whole pool for a study).
+// collapse, peer fill (fleet mode), slot acquisition, compute, store
+// fill. weight is the number of simulation slots the computation needs
+// (1 for a single run, the whole pool for a study). The returned source
+// says whether the body came from the local store, a peer shard, or a
+// simulation run here.
 func (s *Server) execute(ctx context.Context, key store.Key, nocache bool, weight int64,
-	compute func(ctx context.Context) ([]byte, error)) (body []byte, cached bool, err error) {
+	compute func(ctx context.Context) ([]byte, error)) (body []byte, src source, err error) {
 
 	span := tracing.FromContext(ctx)
 	if nocache {
@@ -309,7 +369,8 @@ func (s *Server) execute(ctx context.Context, key store.Key, nocache bool, weigh
 		lk.End()
 		if ok {
 			s.counters.cacheHits.Add(1)
-			return b, true, nil
+			s.noteHit(key)
+			return b, srcLocal, nil
 		}
 	}
 
@@ -320,22 +381,39 @@ func (s *Server) execute(ctx context.Context, key store.Key, nocache bool, weigh
 		s.counters.flightsCollapsed.Add(1)
 		select {
 		case <-fl.done:
-			return fl.body, false, fl.err
+			return fl.body, fl.src, fl.err
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return nil, srcCompute, ctx.Err()
 		}
 	}
-	fl := &flight{done: make(chan struct{})}
+	fl := &flight{done: make(chan struct{}), src: srcCompute}
 	s.flights[fk] = fl
 	s.flightsMu.Unlock()
 
 	s.counters.flightsExecuted.Add(1)
 	s.counters.activeFlights.Add(1)
 	fl.body, fl.err = func() ([]byte, error) {
+		// Before spending a simulation slot, ask the shard that owns
+		// this content address (peer fill). Any failure — peer down,
+		// slow, a miss, a corrupt payload — falls through to compute.
+		if s.fleet != nil && !nocache {
+			if b, ok := s.peerFill(ctx, key); ok {
+				fl.src = srcPeer
+				return b, nil
+			}
+		}
 		qw := span.StartChild("queue.wait")
 		qstart := time.Now()
-		err := s.pool.Acquire(ctx, weight)
+		err := s.pool.AcquireBounded(ctx, weight, s.cfg.MaxQueue)
 		s.queueWait.Observe(time.Since(qstart).Seconds())
+		if errors.Is(err, errSaturated) {
+			s.counters.loadShed.Add(1)
+			err = &apiError{
+				status:     http.StatusTooManyRequests,
+				msg:        fmt.Sprintf("simulation queue is full (%d waiting)", s.pool.Waiting()),
+				retryAfter: s.retryAfterSeconds(),
+			}
+		}
 		qw.SetErr(err)
 		qw.End()
 		if err != nil {
@@ -352,14 +430,31 @@ func (s *Server) execute(ctx context.Context, key store.Key, nocache bool, weigh
 	s.counters.activeFlights.Add(-1)
 	if fl.err == nil && !nocache {
 		// A failed persist degrades to cache-miss behavior; the response
-		// is still correct.
+		// is still correct. A peer-filled body is persisted too: the
+		// entry migrates to where it is used, attraction-memory style.
 		_ = s.store.Put(key, fl.body)
 	}
 	s.flightsMu.Lock()
 	delete(s.flights, fk)
 	s.flightsMu.Unlock()
 	close(fl.done)
-	return fl.body, false, fl.err
+	return fl.body, fl.src, fl.err
+}
+
+// retryAfterSeconds estimates a Retry-After hint for shed requests from
+// the observed mean queue wait, clamped to [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	_, sum, total := s.queueWait.snapshot()
+	sec := 1
+	if total > 0 {
+		if mean := sum / float64(total); mean > 1 {
+			sec = int(mean + 0.5)
+		}
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // --- handlers ---------------------------------------------------------
@@ -375,6 +470,17 @@ type Healthz struct {
 	Module        string  `json:"module,omitempty"`
 	VCSRevision   string  `json:"vcs_revision,omitempty"`
 	VCSTime       string  `json:"vcs_time,omitempty"`
+	// Fleet identity, present only in fleet mode: which shard this is
+	// and how it sees the rest of the ring.
+	ShardID string       `json:"shard_id,omitempty"`
+	Fleet   *FleetHealth `json:"fleet,omitempty"`
+}
+
+// FleetHealth is the fleet view embedded in /v1/healthz.
+type FleetHealth struct {
+	Members        []string     `json:"members"`
+	ReachablePeers int          `json:"reachable_peers"`
+	Peers          []PeerHealth `json:"peers"`
 }
 
 // buildID is the embedded build identity, read once at startup.
@@ -396,7 +502,7 @@ var buildID = func() (b struct{ mod, rev, vcsTime string }) {
 }()
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Healthz{
+	h := Healthz{
 		Status:        "ok",
 		SimSlots:      s.pool.Size(),
 		SchemaVersion: schemaVersion,
@@ -405,7 +511,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Module:        buildID.mod,
 		VCSRevision:   buildID.rev,
 		VCSTime:       buildID.vcsTime,
-	})
+	}
+	if f := s.fleet; f != nil {
+		h.ShardID = f.self.ID
+		fh := &FleetHealth{Peers: f.peerView()}
+		for _, m := range f.ring.Members() {
+			fh.Members = append(fh.Members, m.ID)
+		}
+		for _, p := range fh.Peers {
+			if p.Reachable {
+				fh.ReachablePeers++
+			}
+		}
+		h.Fleet = fh
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // handleTrace serves a retained trace from the tracer's ring, as JSON or
@@ -441,21 +561,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheBypassed:    c.cacheBypassed.Load(),
 		JobsCreated:      c.jobsCreated.Load(),
 		JobsCancelled:    c.jobsCancelled.Load(),
+		JobsEvicted:      c.jobsEvicted.Load(),
+		JobsRetained:     s.retainedJobs(),
 		ActiveFlights:    c.activeFlights.Load(),
 		SimSlots:         s.pool.Size(),
 		SimulatedExecNs:  c.simulatedExecNs.Load(),
 		SimulatedRuns:    c.simulatedRuns.Load(),
+		LoadShed:         c.loadShed.Load(),
 		Store:            s.store.Stats(),
 		Obs:              s.obsSink.snapshot(),
+	}
+	if f := s.fleet; f != nil {
+		fm := &FleetMetrics{
+			ShardID:             f.self.ID,
+			Members:             f.ring.Len(),
+			PeerFillHits:        c.peerFillHits.Load(),
+			PeerFillMisses:      c.peerFillMisses.Load(),
+			PeerFillErrors:      c.peerFillErrors.Load(),
+			PeerServed:          c.peerServed.Load(),
+			PeerServedMisses:    c.peerServedMisses.Load(),
+			ReplicationPushed:   c.replicationPushed.Load(),
+			ReplicationReceived: c.replicationReceived.Load(),
+			ReplicationErrors:   c.replicationErrors.Load(),
+		}
+		for _, p := range f.peerView() {
+			if p.Reachable {
+				fm.ReachablePeers++
+			}
+		}
+		m.Fleet = fm
 	}
 	writeJSON(w, http.StatusOK, m)
 }
 
 // SimEnvelope is the POST /v1/simulate response: the content address,
-// whether the store served it, and the result payload.
+// whether the store served it, and the result payload. Source is only
+// present in fleet mode ("local", "peer" or "compute"); single-shard
+// responses are byte-identical to the pre-fleet schema.
 type SimEnvelope struct {
 	Key    string          `json:"key"`
 	Cached bool            `json:"cached"`
+	Source string          `json:"source,omitempty"`
 	Result json.RawMessage `json:"result"`
 }
 
@@ -605,12 +751,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.respondAsync(w, r, key, nocache, 1, "application/json", compute)
 		return
 	}
-	body, cached, err := s.execute(r.Context(), key, nocache, 1, compute)
+	body, src, err := s.execute(r.Context(), key, nocache, 1, compute)
 	if err != nil {
 		writeErr(w, errStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SimEnvelope{Key: key.String(), Cached: cached, Result: body})
+	env := SimEnvelope{Key: key.String(), Cached: src == srcLocal, Result: body}
+	if s.fleet != nil {
+		env.Source = string(src)
+	}
+	writeJSON(w, http.StatusOK, env)
 }
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
@@ -669,18 +819,21 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		s.respondAsync(w, r, key, nocache, s.pool.Size(), "text/plain; charset=utf-8", compute)
 		return
 	}
-	body, cached, err := s.execute(r.Context(), key, nocache, s.pool.Size(), compute)
+	body, src, err := s.execute(r.Context(), key, nocache, s.pool.Size(), compute)
 	if err != nil {
 		writeErr(w, errStatus(err), err)
 		return
 	}
-	writeStudy(w, key, cached, body)
+	s.writeStudy(w, key, src, body)
 }
 
-func writeStudy(w http.ResponseWriter, key store.Key, cached bool, body []byte) {
+func (s *Server) writeStudy(w http.ResponseWriter, key store.Key, src source, body []byte) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("X-Comasrv-Key", key.String())
-	w.Header().Set("X-Comasrv-Cached", fmt.Sprintf("%t", cached))
+	w.Header().Set("X-Comasrv-Cached", fmt.Sprintf("%t", src == srcLocal))
+	if s.fleet != nil {
+		w.Header().Set("X-Comasrv-Source", string(src))
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }
@@ -702,8 +855,12 @@ func (s *Server) respondAsync(w http.ResponseWriter, r *http.Request, key store.
 		if !j.setRunning() {
 			return // cancelled while queued
 		}
-		body, cached, err := s.execute(ctx, key, nocache, weight, compute)
-		j.finish(body, contentType, cached, err)
+		body, src, err := s.execute(ctx, key, nocache, weight, compute)
+		srcStr := ""
+		if s.fleet != nil {
+			srcStr = string(src)
+		}
+		j.finish(body, contentType, src == srcLocal, srcStr, err, s.now())
 	}()
 	writeJSON(w, http.StatusAccepted, j.view())
 }
@@ -724,7 +881,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
-	status, body, contentType, cached := j.status, j.body, j.contentType, j.cached
+	status, body, contentType, cached, srcStr := j.status, j.body, j.contentType, j.cached, j.source
 	key := j.key
 	j.mu.Unlock()
 	if status != JobDone {
@@ -732,10 +889,17 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if contentType == "application/json" {
-		writeJSON(w, http.StatusOK, SimEnvelope{Key: key.String(), Cached: cached, Result: body})
+		writeJSON(w, http.StatusOK, SimEnvelope{Key: key.String(), Cached: cached, Source: srcStr, Result: body})
 		return
 	}
-	writeStudy(w, key, cached, body)
+	src := srcCompute
+	if cached {
+		src = srcLocal
+	}
+	if srcStr != "" {
+		src = source(srcStr)
+	}
+	s.writeStudy(w, key, src, body)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -744,7 +908,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
-	j.markCancelled()
+	j.markCancelled(s.now())
 	j.cancel()
 	s.counters.jobsCancelled.Add(1)
 	writeJSON(w, http.StatusOK, j.view())
