@@ -43,6 +43,8 @@ func main() {
 	logFormat := flag.String("log", "text", "log handler: text or json (structured, one line per request)")
 	maxQueue := flag.Int("max-queue", 0, "admission control: shed computations with 429 when this many are already queued (0 = unbounded)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict finished async jobs after this long (0 = 15m)")
+	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "reject trace uploads larger than this (0 = 8 MiB)")
+	maxTraces := flag.Int("max-traces", 0, "bound the uploaded-trace index (0 = 256)")
 	shardID := flag.String("shard-id", "", "fleet mode: this shard's member ID (requires -peers)")
 	peers := flag.String("peers", "", `fleet mode: full membership as "id=url,id=url,..." including this shard`)
 	replicas := flag.Int("replicas", 0, "fleet mode: total copies for hot entries, owner included (0 = 2, 1 disables)")
@@ -61,6 +63,8 @@ func main() {
 		Logger:        logger,
 		MaxQueue:      *maxQueue,
 		JobTTL:        *jobTTL,
+		MaxTraceBytes: *maxTraceBytes,
+		MaxTraces:     *maxTraces,
 	}
 	if (*shardID == "") != (*peers == "") {
 		flags.Check("comasrv", fmt.Errorf("-shard-id and -peers must be set together"))

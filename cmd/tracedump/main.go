@@ -1,9 +1,14 @@
 // Command tracedump generates workload traces and prints their summary
 // statistics: footprint, reference counts, sharing degree and generation
-// time. Useful for inspecting and tuning the workload kernels.
+// time. Useful for inspecting and tuning the workload kernels, and as
+// the client path for comasrv trace ingestion: -upload posts each
+// generated trace in the compact wire format (TRACES.md) and prints the
+// digest to simulate it by reference.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -12,24 +17,22 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/config/flags"
+	"repro/internal/server"
 	"repro/internal/trace"
 )
 
 func main() {
 	flags.SetUsage("tracedump", "generate workload traces and print their summary statistics")
-	only := flag.String("app", "", "generate only this application (default: all)")
+	only := flag.String("app", "", "generate only this application (default: all, extras included)")
 	procs := flags.Procs(16)
 	saveDir := flag.String("save", "", "serialize generated traces into this directory")
-	load := flag.String("load", "", "summarize a serialized trace file instead of generating")
+	compact := flag.Bool("compact", false, "serialize with -save in the compact COMATRC2 wire format instead of the boxed format")
+	load := flag.String("load", "", "summarize a serialized trace file instead of generating (both formats auto-detected)")
+	upload := flag.String("upload", "", "POST each generated trace to this comasrv base URL (e.g. http://127.0.0.1:8080) and print its digest")
 	flag.Parse()
 
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		tr, err := trace.ReadTrace(f)
+		tr, err := loadTrace(*load)
 		if err != nil {
 			fatal(err)
 		}
@@ -37,9 +40,14 @@ func main() {
 		return
 	}
 
-	fmt.Printf("%-10s %8s %9s %9s %9s %9s %9s %9s %8s\n",
+	var client *server.Client
+	if *upload != "" {
+		client = server.NewClient(*upload)
+	}
+
+	fmt.Printf("%-11s %8s %9s %9s %9s %9s %9s %9s %8s\n",
 		"app", "ws(KB)", "reads", "writes", "acquires", "barriers", "lines", "shared", "gen(s)")
-	for _, app := range apps.Registry {
+	for _, app := range apps.All() {
 		if *only != "" && app.Name != *only {
 			continue
 		}
@@ -51,25 +59,47 @@ func main() {
 		}
 		summarize(tr, el.Seconds())
 		if *saveDir != "" {
-			if err := saveTrace(tr, *saveDir); err != nil {
+			if err := saveTrace(tr, *saveDir, *compact); err != nil {
 				fatal(err)
 			}
+		}
+		if client != nil {
+			meta, err := client.UploadTrace(context.Background(), tr.EncodeCompact())
+			if err != nil {
+				fatal(fmt.Errorf("%s: upload: %w", app.Name, err))
+			}
+			fmt.Printf("  uploaded %s -> trace_ref %s (%d bytes)\n", app.Name, meta.Digest, meta.SizeBytes)
 		}
 	}
 }
 
+// loadTrace reads either serialization format, sniffed by magic prefix.
+func loadTrace(path string) (*trace.Trace, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(raw, []byte(trace.CompactMagic)) {
+		return trace.DecodeCompact(raw)
+	}
+	return trace.ReadTrace(bytes.NewReader(raw))
+}
+
 func summarize(tr *trace.Trace, genSeconds float64) {
 	s := tr.Summarize()
-	fmt.Printf("%-10s %8d %9d %9d %9d %9d %9d %9d %8.2f\n",
+	fmt.Printf("%-11s %8d %9d %9d %9d %9d %9d %9d %8.2f\n",
 		tr.Name, tr.WorkingSet/1024, s.Reads, s.Writes, s.Acquires, s.Barriers,
 		s.DistinctLines, s.SharedLines, genSeconds)
 }
 
-func saveTrace(tr *trace.Trace, dir string) error {
+func saveTrace(tr *trace.Trace, dir string, compact bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(dir, tr.Name+".trace")
+	if compact {
+		return os.WriteFile(path, tr.EncodeCompact(), 0o644)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

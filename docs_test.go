@@ -7,9 +7,14 @@ package repro_test
 //   - API.md documents every route the server actually registers, and
 //     its CLI appendix names every command in cmd/;
 //   - the /metrics Prometheus exposition a live server produces is
-//     well-formed (HELP/TYPE headers, monotonic histogram buckets).
+//     well-formed (HELP/TYPE headers, monotonic histogram buckets);
+//   - TRACES.md's worked hex example decodes with the real decoder and
+//     re-encodes byte-identically (the spec cannot drift);
+//   - WORKLOADS.md documents every registered kernel by name.
 
 import (
+	"bytes"
+	"encoding/hex"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -19,7 +24,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // internalPackages walks internal/ and returns each directory that
@@ -161,6 +168,68 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTracesDocHexExampleRoundTrips extracts the ```hex block from
+// TRACES.md, strips the # comments, and requires the remaining bytes to
+// decode with the real COMATRC2 decoder and re-encode byte-identically.
+// The worked example in the spec is thereby executable documentation: a
+// format change that invalidates it fails this test until the spec is
+// updated alongside.
+func TestTracesDocHexExampleRoundTrips(t *testing.T) {
+	b, err := os.ReadFile("TRACES.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, ok := strings.Cut(string(b), "```hex\n")
+	if !ok {
+		t.Fatal("TRACES.md has no ```hex block")
+	}
+	block, _, ok := strings.Cut(rest, "```")
+	if !ok {
+		t.Fatal("TRACES.md hex block is unterminated")
+	}
+	var hexDigits strings.Builder
+	for _, line := range strings.Split(block, "\n") {
+		line, _, _ = strings.Cut(line, "#")
+		hexDigits.WriteString(strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\t' {
+				return -1
+			}
+			return r
+		}, line))
+	}
+	payload, err := hex.DecodeString(hexDigits.String())
+	if err != nil {
+		t.Fatalf("TRACES.md hex block is not valid hex: %v", err)
+	}
+	tr, err := trace.DecodeCompact(payload)
+	if err != nil {
+		t.Fatalf("the documented example does not decode: %v", err)
+	}
+	if tr.Name != "demo" || tr.Procs != 1 || tr.WorkingSet != 4096 {
+		t.Fatalf("decoded example header differs from the prose: %q procs=%d ws=%d",
+			tr.Name, tr.Procs, tr.WorkingSet)
+	}
+	if got := tr.EncodeCompact(); !bytes.Equal(got, payload) {
+		t.Fatalf("example does not round-trip: %d bytes in, %d bytes out", len(payload), len(got))
+	}
+}
+
+// TestWorkloadsDocNamesEveryKernel keeps WORKLOADS.md in parity with the
+// registry: every runnable kernel name (paper set and extras) must
+// appear in the document.
+func TestWorkloadsDocNamesEveryKernel(t *testing.T) {
+	b, err := os.ReadFile("WORKLOADS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(b)
+	for _, name := range apps.AllNames() {
+		if !strings.Contains(doc, name) {
+			t.Errorf("WORKLOADS.md does not document kernel %q", name)
 		}
 	}
 }

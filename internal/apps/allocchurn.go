@@ -1,0 +1,174 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// AllocChurn replays a seeded malloc/free lifetime trace against a
+// segregated-freelist heap model — the allocator-dominated traffic of
+// Risco-Martín et al.'s memory-allocator studies. Four size classes (1,
+// 2, 4 and 8 lines) each keep a central free list: a shared head cell, a
+// next-pointer array and a block pool, guarded by one lock per class.
+// Every processor runs an allocate/use/free loop with geometrically
+// distributed object sizes and random lifetimes: an allocation pops the
+// class's free list under its lock and stamps every line of the block; a
+// free reads the stamp back (use-after-free detection for real) and
+// pushes the block under the lock. The shared list heads migrate from
+// processor to processor — the lock-protected migratory sharing pattern
+// — while block payloads are mostly private. Heap consistency (no double
+// free, no lost blocks, intact free lists) is verified at the end.
+func AllocChurn(procs, opsPerProc, blocksPerClass int) *trace.Trace {
+	g := NewGen("alloc-churn", procs)
+	classLines := []int{1, 2, 4, 8}
+	nclass := len(classLines)
+	const lineInts = 16
+
+	heads := g.I32("alloc-heads", nclass) // dense: heads share a line
+	locks := g.NewLocks("alloc-class", nclass)
+	nexts := make([]*I32, nclass)
+	pools := make([]*I32, nclass)
+	for c, lines := range classLines {
+		nexts[c] = g.I32(fmt.Sprintf("alloc-freelist-%d", c), blocksPerClass)
+		pools[c] = g.I32(fmt.Sprintf("alloc-pool-%d", c), blocksPerClass*lines*lineInts)
+	}
+
+	// Init (traced): processor p threads its chunk of every class's free
+	// list; processor 0 links the chunks and publishes the heads.
+	for p := 0; p < procs; p++ {
+		for c := 0; c < nclass; c++ {
+			lo, hi := Chunk(blocksPerClass, procs, p)
+			for b := lo; b < hi-1; b++ {
+				nexts[c].Write(p, b, int32(b+1))
+			}
+			g.Compute(p, hi-lo)
+		}
+	}
+	for c := 0; c < nclass; c++ {
+		for p := 0; p < procs-1; p++ {
+			_, hi := Chunk(blocksPerClass, procs, p)
+			nexts[c].Write(0, hi-1, int32(hi))
+		}
+		nexts[c].Write(0, blocksPerClass-1, -1)
+		heads.Write(0, c, 0)
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	// Shadow state for verification: which blocks are live, and the
+	// stamp written into each.
+	type object struct {
+		class, block int
+		deadline     int
+		stamp        int32
+	}
+	live := make([]map[int]int32, nclass) // class -> block -> stamp
+	for c := range live {
+		live[c] = make(map[int]int32)
+	}
+	frees, allocs := 0, 0
+
+	pop := func(p, c int) int32 {
+		g.Acquire(p, locks[c])
+		h := heads.Read(p, c)
+		if h >= 0 {
+			nxt := nexts[c].Read(p, int(h))
+			heads.Write(p, c, nxt)
+		}
+		g.Compute(p, 4)
+		g.Release(p, locks[c])
+		return h
+	}
+	push := func(p, c, b int) {
+		g.Acquire(p, locks[c])
+		h := heads.Read(p, c)
+		nexts[c].Write(p, b, h)
+		heads.Write(p, c, int32(b))
+		g.Compute(p, 4)
+		g.Release(p, locks[c])
+	}
+	freeObj := func(p int, o object) {
+		// Read the stamp back from every line before releasing the
+		// block: catches any aliasing bug in the model itself.
+		for l := 0; l < classLines[o.class]; l++ {
+			got := pools[o.class].Read(p, (o.block*classLines[o.class]+l)*lineInts)
+			if got != o.stamp {
+				panic(fmt.Sprintf("alloc-churn: class %d block %d line %d stamped %d, read %d",
+					o.class, o.block, l, o.stamp, got))
+			}
+			g.Compute(p, 2)
+		}
+		if _, ok := live[o.class][o.block]; !ok {
+			panic(fmt.Sprintf("alloc-churn: double free of class %d block %d", o.class, o.block))
+		}
+		delete(live[o.class], o.block)
+		push(p, o.class, o.block)
+		frees++
+	}
+
+	for p := 0; p < procs; p++ {
+		var mine []object // this processor's live objects, oldest first
+		for i := 0; i < opsPerProc; i++ {
+			// Free everything whose lifetime expired.
+			for len(mine) > 0 && mine[0].deadline <= i {
+				freeObj(p, mine[0])
+				mine = mine[1:]
+			}
+			// Geometric size classes: half the allocations are small.
+			c := 0
+			for c < nclass-1 && g.rng.Intn(2) == 0 {
+				c++
+			}
+			b := pop(p, c)
+			for b < 0 {
+				// Class exhausted: free this processor's oldest object
+				// (the forced-eviction path of a bounded heap) and retry.
+				if len(mine) == 0 {
+					panic(fmt.Sprintf("alloc-churn: class %d exhausted with no live objects on proc %d", c, p))
+				}
+				freeObj(p, mine[0])
+				mine = mine[1:]
+				b = pop(p, c)
+			}
+			if _, ok := live[c][int(b)]; ok {
+				panic(fmt.Sprintf("alloc-churn: class %d block %d allocated twice", c, b))
+			}
+			stamp := int32(p<<16 | i)
+			live[c][int(b)] = stamp
+			for l := 0; l < classLines[c]; l++ {
+				pools[c].Write(p, (int(b)*classLines[c]+l)*lineInts, stamp)
+				g.Compute(p, 2)
+			}
+			mine = append(mine, object{class: c, block: int(b), deadline: i + 1 + g.rng.Intn(32), stamp: stamp})
+			allocs++
+		}
+		// Drain at the end of the processor's run.
+		for _, o := range mine {
+			freeObj(p, o)
+		}
+	}
+	g.Barrier()
+
+	// Heap consistency (untraced): every free list is acyclic and, with
+	// the live sets drained, holds exactly blocksPerClass blocks.
+	if allocs != frees {
+		panic(fmt.Sprintf("alloc-churn: %d allocations, %d frees", allocs, frees))
+	}
+	for c := 0; c < nclass; c++ {
+		if n := len(live[c]); n != 0 {
+			panic(fmt.Sprintf("alloc-churn: class %d ends with %d live blocks", c, n))
+		}
+		seen := make(map[int32]bool)
+		for h := heads.Peek(c); h >= 0; h = nexts[c].Peek(int(h)) {
+			if seen[h] {
+				panic(fmt.Sprintf("alloc-churn: class %d free list cycles at block %d", c, h))
+			}
+			seen[h] = true
+		}
+		if len(seen) != blocksPerClass {
+			panic(fmt.Sprintf("alloc-churn: class %d free list holds %d of %d blocks", c, len(seen), blocksPerClass))
+		}
+	}
+	return g.Finish()
+}

@@ -32,7 +32,7 @@ func TestChunk(t *testing.T) {
 // Traces are fully deterministic: generating twice yields identical
 // streams.
 func TestDeterministicGeneration(t *testing.T) {
-	for _, name := range []string{"fft", "radix", "water-sp"} {
+	for _, name := range []string{"fft", "radix", "water-sp", "graph-bfs", "pchase", "alloc-churn"} {
 		app, err := ByName(name)
 		if err != nil {
 			t.Fatal(err)
@@ -102,6 +102,10 @@ func TestKernelsAtSmallSizes(t *testing.T) {
 	t.Run("radiosity-small", func(t *testing.T) { Radiosity(4, 256) })
 	t.Run("raytrace-small", func(t *testing.T) { Raytrace(4, 128, 32) })
 	t.Run("volrend-small", func(t *testing.T) { Volrend(4, 16, 16) })
+	t.Run("graph-bfs-small", func(t *testing.T) { GraphBFS(4, 256, 4) })
+	t.Run("pchase-sequential", func(t *testing.T) { PChase(4, 128, 1) })
+	t.Run("pchase-random", func(t *testing.T) { PChase(4, 128, 128) })
+	t.Run("alloc-churn-small", func(t *testing.T) { AllocChurn(4, 64, 32) })
 }
 
 func TestKernelBadParamsPanic(t *testing.T) {

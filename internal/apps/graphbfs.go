@@ -1,0 +1,177 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// GraphBFS is a level-synchronous breadth-first search over a seeded
+// power-law graph — the irregular random-access pattern of graph
+// analytics that the paper's regular SPLASH-2 set never exercises (Chen &
+// Bader's Cell BE study shows exactly this access shape defeating
+// software-managed locality). The graph is built by preferential
+// attachment (so a few hub vertices concentrate most edges) and stored in
+// compressed sparse row form; the search keeps the current and next
+// frontiers as shared bitmaps. Each round, every processor scans its
+// vertex chunk's frontier words, expands the set vertices' adjacency
+// lists — reads that scatter across the whole CSR structure and the level
+// array, with no spatial locality to exploit — and marks discovered
+// vertices in the next bitmap. Levels are computed for real and verified
+// against an untraced sequential BFS.
+func GraphBFS(procs, vertices, degree int) *trace.Trace {
+	g := NewGen("graph-bfs", procs)
+	n := vertices
+
+	// Build the graph untraced (the paper's runs would read it from a
+	// file): preferential attachment with `degree` edges per new vertex.
+	// Every new vertex links to an existing one, so the graph is
+	// connected and BFS from the root reaches every vertex.
+	adjSets := make([][]int32, n)
+	endpoints := make([]int32, 0, 2*n*degree)
+	endpoints = append(endpoints, 0)
+	addEdge := func(a, b int32) {
+		adjSets[a] = append(adjSets[a], b)
+		adjSets[b] = append(adjSets[b], a)
+		endpoints = append(endpoints, a, b)
+	}
+	for v := 1; v < n; v++ {
+		for e := 0; e < degree; e++ {
+			var t int32
+			if e == 0 || g.rng.Intn(2) == 0 {
+				t = endpoints[g.rng.Intn(len(endpoints))] // preferential
+			} else {
+				t = int32(g.rng.Intn(v)) // uniform
+			}
+			if int(t) == v {
+				t = int32(v - 1)
+			}
+			addEdge(int32(v), t)
+		}
+	}
+
+	// CSR arrays plus BFS state in the shared space.
+	m := 0
+	for _, a := range adjSets {
+		m += len(a)
+	}
+	off := g.I32("bfs-offsets", n+1)
+	adj := g.I32("bfs-edges", m)
+	level := g.I32("bfs-levels", n)
+	words := (n + 31) / 32
+	cur := g.I32("bfs-frontier", words)
+	next := g.I32("bfs-frontier-next", words)
+	found := g.I32("bfs-found", procs)
+
+	pos := 0
+	for v := 0; v < n; v++ {
+		off.Poke(v, int32(pos))
+		for _, u := range adjSets[v] {
+			adj.Poke(pos, u)
+			pos++
+		}
+	}
+	off.Poke(n, int32(pos))
+
+	// Parallel init (traced): every processor clears its chunk of the
+	// level array and both bitmaps; processor 0 seeds the root.
+	for p := 0; p < procs; p++ {
+		lo, hi := Chunk(n, procs, p)
+		for v := lo; v < hi; v++ {
+			level.Write(p, v, -1)
+		}
+		wlo, whi := Chunk(words, procs, p)
+		for w := wlo; w < whi; w++ {
+			cur.Write(p, w, 0)
+			next.Write(p, w, 0)
+		}
+		g.Compute(p, 2*(hi-lo))
+	}
+	level.Write(0, 0, 0)
+	cur.Write(0, 0, 1) // root vertex 0
+	g.Barrier()
+	g.MeasureStart()
+
+	for lvl := 0; ; lvl++ {
+		// Expand: scan this chunk's frontier words, relax set vertices.
+		for p := 0; p < procs; p++ {
+			lo, hi := Chunk(n, procs, p)
+			var cnt int32
+			var w int32
+			for v := lo; v < hi; v++ {
+				if v == lo || v&31 == 0 {
+					w = cur.Read(p, v>>5)
+					g.Compute(p, 2)
+				}
+				if w&(1<<uint(v&31)) == 0 {
+					continue
+				}
+				elo := int(off.Read(p, v))
+				ehi := int(off.Read(p, v+1))
+				for e := elo; e < ehi; e++ {
+					u := int(adj.Read(p, e))
+					g.Compute(p, 4)
+					if level.Read(p, u) != -1 {
+						continue
+					}
+					level.Write(p, u, int32(lvl+1))
+					nw := next.Read(p, u>>5)
+					next.Write(p, u>>5, nw|1<<uint(u&31))
+					cnt++
+				}
+			}
+			found.Write(p, p, cnt)
+			g.Compute(p, 3)
+		}
+		g.Barrier()
+		// Advance: clear the old frontier, swap bitmaps, and stop when
+		// the new frontier is empty (every processor reads the counts —
+		// the small all-to-all reduction of level-synchronous BFS).
+		var total int32
+		for p := 0; p < procs; p++ {
+			for q := 0; q < procs; q++ {
+				total += found.Read(p, q)
+				g.Compute(p, 1)
+			}
+			wlo, whi := Chunk(words, procs, p)
+			for w := wlo; w < whi; w++ {
+				cur.Write(p, w, 0)
+			}
+		}
+		total /= int32(procs) // every proc summed the same counts
+		g.Barrier()
+		if total == 0 {
+			break
+		}
+		cur, next = next, cur
+	}
+	g.Barrier()
+
+	// Self-check (untraced): levels match a sequential BFS over the same
+	// adjacency structure.
+	want := make([]int32, n)
+	for v := range want {
+		want[v] = -1
+	}
+	want[0] = 0
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adjSets[v] {
+			if want[u] == -1 {
+				want[u] = want[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if got := level.Peek(v); got != want[v] {
+			panic(fmt.Sprintf("graph-bfs: vertex %d level %d, sequential BFS says %d", v, got, want[v]))
+		}
+		if want[v] == -1 {
+			panic(fmt.Sprintf("graph-bfs: vertex %d unreachable in a connected graph", v))
+		}
+	}
+	return g.Finish()
+}

@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// PChase is a pointer-chasing microkernel over shuffled linked lists —
+// the serially dependent irregular reads of linked data structures,
+// where every load's address comes from the previous load and no
+// prefetcher or clustering trick can help. Each list node occupies one
+// full cache line. The node order is a cycle built by shuffling windows
+// of `window` consecutive nodes: window 1 is a sequential sweep, window
+// = list length a fully random permutation, values between dial the
+// locality. Each processor chases its own private list (capacity misses
+// at controllable locality), then all processors chase one shared list
+// together (read-shared lines, the attraction-memory replication case).
+// Every chase is verified to visit each node exactly once and return to
+// its start.
+func PChase(procs, nodesPerProc, window int) *trace.Trace {
+	if window < 1 {
+		panic(fmt.Sprintf("pchase: window %d < 1", window))
+	}
+	g := NewGen("pchase", procs)
+	const nodeInts = 16 // one 64-byte line per node
+	shared := nodesPerProc
+	priv := g.I32("pchase-private", procs*nodesPerProc*nodeInts)
+	shr := g.I32("pchase-shared", shared*nodeInts)
+	sums := g.I32("pchase-sums", procs)
+
+	// cycleOrder returns a visit order over n nodes: windows of
+	// consecutive indices, shuffled within each window.
+	cycleOrder := func(n int) []int32 {
+		order := make([]int32, n)
+		for i := range order {
+			order[i] = int32(i)
+		}
+		for lo := 0; lo < n; lo += window {
+			hi := min(lo+window, n)
+			for i := hi - 1; i > lo; i-- {
+				j := lo + g.rng.Intn(i-lo+1)
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		return order
+	}
+
+	// Init (traced): every processor threads its private list; processor
+	// 0 threads the shared one. Writing the next pointers is the classic
+	// list-building store pattern.
+	starts := make([]int32, procs)
+	for p := 0; p < procs; p++ {
+		order := cycleOrder(nodesPerProc)
+		starts[p] = order[0]
+		base := p * nodesPerProc
+		for i, v := range order {
+			nxt := order[(i+1)%len(order)]
+			priv.Write(p, (base+int(v))*nodeInts, nxt)
+		}
+		g.Compute(p, 2*nodesPerProc)
+	}
+	sharedOrder := cycleOrder(shared)
+	for i, v := range sharedOrder {
+		nxt := sharedOrder[(i+1)%len(sharedOrder)]
+		shr.Write(0, int(v)*nodeInts, nxt)
+	}
+	g.Barrier()
+	g.MeasureStart()
+
+	chase := func(p int, a *I32, base int, start int32, n int) {
+		cur := start
+		visited := make(map[int32]bool, n)
+		var sum int64
+		for i := 0; i < n; i++ {
+			if visited[cur] {
+				panic(fmt.Sprintf("pchase: proc %d revisits node %d after %d hops", p, cur, i))
+			}
+			visited[cur] = true
+			sum += int64(cur)
+			cur = a.Read(p, (base+int(cur))*nodeInts)
+			g.Compute(p, 2)
+		}
+		if cur != start {
+			panic(fmt.Sprintf("pchase: proc %d chase ended at %d, started at %d", p, cur, start))
+		}
+		if want := int64(n) * int64(n-1) / 2; sum != want {
+			panic(fmt.Sprintf("pchase: proc %d visited-node checksum %d, want %d", p, sum, want))
+		}
+		s := sums.Read(p, p)
+		sums.Write(p, p, s+int32(sum&0x7fffffff))
+	}
+
+	// Two full laps over the private list (the second lap is where the
+	// locality window shows: a window-sized reuse distance), then one
+	// lap over the shared list by every processor.
+	for lap := 0; lap < 2; lap++ {
+		for p := 0; p < procs; p++ {
+			chase(p, priv, p*nodesPerProc, starts[p], nodesPerProc)
+		}
+		g.Barrier()
+	}
+	for p := 0; p < procs; p++ {
+		chase(p, shr, 0, sharedOrder[0], shared)
+	}
+	g.Barrier()
+	return g.Finish()
+}

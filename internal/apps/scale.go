@@ -112,6 +112,21 @@ func GenerateScaled(name string, procs int, s Scale) (*trace.Trace, error) {
 			def:   func(p int) *trace.Trace { return WaterSp(p, 256, 2) },
 			large: func(p int) *trace.Trace { return WaterSp(p, 512, 2) },
 		},
+		"graph-bfs": {
+			small: func(p int) *trace.Trace { return GraphBFS(p, 2048, 8) },
+			def:   func(p int) *trace.Trace { return GraphBFS(p, 4096, 8) },
+			large: func(p int) *trace.Trace { return GraphBFS(p, 8192, 8) },
+		},
+		"pchase": {
+			small: func(p int) *trace.Trace { return PChase(p, 1024, 16) },
+			def:   func(p int) *trace.Trace { return PChase(p, 2048, 16) },
+			large: func(p int) *trace.Trace { return PChase(p, 4096, 16) },
+		},
+		"alloc-churn": {
+			small: func(p int) *trace.Trace { return AllocChurn(p, 256, 128) },
+			def:   func(p int) *trace.Trace { return AllocChurn(p, 512, 256) },
+			large: func(p int) *trace.Trace { return AllocChurn(p, 1024, 512) },
+		},
 	}
 	entry, ok := table[name]
 	if !ok {

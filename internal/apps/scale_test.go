@@ -11,7 +11,7 @@ func TestScaleString(t *testing.T) {
 // Every registered application has all three scales, the default scale
 // matches the registry, and working sets order small < default < large.
 func TestScaledVariants(t *testing.T) {
-	for _, a := range Registry {
+	for _, a := range All() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
 			small, err := GenerateScaled(a.Name, 16, ScaleSmall)
@@ -55,7 +55,7 @@ func TestKernelsAtScaledSizes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full registry at 64/128 processors in -short mode")
 	}
-	for _, a := range Registry {
+	for _, a := range All() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
 			t.Parallel()

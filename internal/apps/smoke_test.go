@@ -7,11 +7,17 @@ import (
 // TestGenerateAll generates every registered workload (each kernel
 // self-checks its computation) and sanity-checks the traces.
 func TestGenerateAll(t *testing.T) {
-	for _, app := range Registry {
+	for _, app := range All() {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
 			tr := app.Generate(16)
 			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// Every generated trace must also satisfy the stricter sync
+			// discipline the trace-ingestion decoder enforces, so any
+			// kernel's output can be exported and re-uploaded.
+			if err := tr.ValidateSync(); err != nil {
 				t.Fatal(err)
 			}
 			s := tr.Summarize()

@@ -12,7 +12,7 @@ import (
 // over the full production workload set, including the denormal records
 // that spill to the side table (locks, wide payloads).
 func TestCompactStreamsRoundTripAllApps(t *testing.T) {
-	for _, a := range Registry {
+	for _, a := range All() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
 			tr := a.Generate(8)
@@ -57,7 +57,7 @@ func TestCompactStreamsRoundTripAllApps(t *testing.T) {
 // (reads/writes/computes pack into 8 bytes; only denormal records spill).
 func TestCompactStreamsActuallyCompact(t *testing.T) {
 	var compact, boxed uint64
-	for _, a := range Registry {
+	for _, a := range All() {
 		tr := a.Generate(8)
 		compact += uint64(tr.MemBytes())
 		for p := range tr.Streams {

@@ -23,7 +23,7 @@ func Artifacts() []string {
 // ExtraArtifacts lists artifacts renderable on demand but excluded from
 // the default regeneration set.
 func ExtraArtifacts() []string {
-	return []string{"fig2scaled", "fidelitycheck", "fidelitycheck-quick"}
+	return []string{"fig2scaled", "fig2irregular", "fidelitycheck", "fidelitycheck-quick"}
 }
 
 // RenderArtifact runs one evaluation artifact on the runner and writes
@@ -146,6 +146,14 @@ func RenderArtifact(w io.Writer, r *Runner, name string, chart bool) error {
 		}
 	case "fig2scaled":
 		f, err := r.Figure2Scaled(ScaledSpec{})
+		if err != nil {
+			return err
+		}
+		if err := f.Write(w); err != nil {
+			return err
+		}
+	case "fig2irregular":
+		f, err := r.Figure2Irregular()
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// IrregularTopo holds one topology's sweeps over the extra workload
+// families: the Figure 2 clustering sweep (1/2/4 processors per node at
+// 6% MP) and the memory-pressure sweep at 4-processor nodes.
+type IrregularTopo struct {
+	Topology string
+	Clusters []int // ring cluster count per clustering degree (nil on bus)
+	PPNs     []int
+	PPNRows  []Fig2Row
+	Mean2    float64
+	Mean4    float64
+	MPRows   []ScaledMPRow
+}
+
+// Fig2Irregular is the irregular/allocator-family study: the paper's
+// clustering and memory-pressure sweeps rerun over apps.Extras
+// (graph-bfs, pchase, alloc-churn) on both the snooping bus and the
+// ring-of-clusters topology. The paper's Table 1 set is all regular
+// SPLASH-2 kernels; these are the access patterns — scattered graph
+// reads, serially dependent pointer chases, lock-protected migratory
+// allocator metadata — where a shared attraction memory should win or
+// lose hardest.
+type Fig2Irregular struct {
+	Topos []IrregularTopo
+}
+
+// irregularCfg builds one configuration of the study.
+func irregularCfg(topo string, procs, ppn int, mp config.Pressure) config.Machine {
+	cfg := config.Baseline(ppn, mp)
+	if topo == machine.TopologyRing {
+		cfg.Topology = machine.TopologyRing
+		cfg.Clusters = ringClusters(procs / ppn)
+	}
+	return cfg
+}
+
+// Figure2Irregular runs the extra families' clustering and pressure
+// sweeps on both topologies at the runner's machine size. The full
+// matrix (3 apps x 2 topologies x (3 clustering + 5 pressure points))
+// executes on the worker pool.
+func (r *Runner) Figure2Irregular() (*Fig2Irregular, error) {
+	ppns := []int{1, 2, 4}
+	const mpPPN = 4
+	topos := []string{machine.TopologyBus, machine.TopologyRing}
+	var jobs []job
+	for _, topo := range topos {
+		for _, a := range apps.Extras {
+			for _, ppn := range ppns {
+				jobs = append(jobs, job{a.Name, irregularCfg(topo, r.Procs, ppn, config.MP6)})
+			}
+			for _, mp := range config.Pressures {
+				jobs = append(jobs, job{a.Name, irregularCfg(topo, r.Procs, mpPPN, mp)})
+			}
+		}
+	}
+	results, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Irregular{}
+	per := len(ppns) + len(config.Pressures)
+	for ti, topo := range topos {
+		tp := IrregularTopo{Topology: topo, PPNs: ppns}
+		if topo == machine.TopologyRing {
+			for _, ppn := range ppns {
+				tp.Clusters = append(tp.Clusters, ringClusters(r.Procs/ppn))
+			}
+		}
+		var rel2s, rel4s []float64
+		base := ti * len(apps.Extras) * per
+		for ai, a := range apps.Extras {
+			var rnmr [3]float64
+			for i := range ppns {
+				rnmr[i] = results[base+ai*per+i].RNMr()
+			}
+			row := Fig2Row{
+				App:   a.Name,
+				RNMr1: rnmr[0],
+				Rel2:  stats.Ratio(rnmr[1], rnmr[0]),
+				Rel4:  stats.Ratio(rnmr[2], rnmr[0]),
+			}
+			tp.PPNRows = append(tp.PPNRows, row)
+			rel2s = append(rel2s, row.Rel2)
+			rel4s = append(rel4s, row.Rel4)
+			mpRow := ScaledMPRow{App: a.Name}
+			for pi := range config.Pressures {
+				mpRow.RNMr = append(mpRow.RNMr, results[base+ai*per+len(ppns)+pi].RNMr())
+			}
+			tp.MPRows = append(tp.MPRows, mpRow)
+		}
+		tp.Mean2 = stats.Mean(rel2s)
+		tp.Mean4 = stats.Mean(rel4s)
+		out.Topos = append(out.Topos, tp)
+	}
+	return out, nil
+}
+
+// Write renders both topologies' sweeps.
+func (f *Fig2Irregular) Write(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 2 irregular: clustering and memory-pressure sweeps over the irregular/allocator families")
+	for _, tp := range f.Topos {
+		if tp.Clusters != nil {
+			fmt.Fprintf(w, "\n== %s topology (ring geometry: %dp nodes in %d clusters, %dp in %d, %dp in %d) ==\n",
+				tp.Topology, tp.PPNs[0], tp.Clusters[0], tp.PPNs[1], tp.Clusters[1], tp.PPNs[2], tp.Clusters[2])
+		} else {
+			fmt.Fprintf(w, "\n== %s topology ==\n", tp.Topology)
+		}
+		fmt.Fprintln(w, "relative RNMr at 6% MP")
+		t := stats.NewTable("application", "RNMr(1p)", "2-way rel", "", "4-way rel", "")
+		for _, r := range tp.PPNRows {
+			t.Row(r.App, fmt.Sprintf("%.4f", r.RNMr1),
+				stats.Pct(r.Rel2), stats.Bar(r.Rel2, 1, 20),
+				stats.Pct(r.Rel4), stats.Bar(r.Rel4, 1, 20))
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "average relative RNMr: 2-way %s, 4-way %s\n", stats.Pct(tp.Mean2), stats.Pct(tp.Mean4))
+		fmt.Fprintln(w, "RNMr by memory pressure at 4-processor nodes")
+		hdr := []string{"application"}
+		for _, mp := range config.Pressures {
+			hdr = append(hdr, mp.Label)
+		}
+		mt := stats.NewTable(hdr...)
+		for _, r := range tp.MPRows {
+			cells := []any{r.App}
+			for _, v := range r.RNMr {
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			}
+			mt.Row(cells...)
+		}
+		if err := mt.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// The irregular/allocator study's golden pins both topologies' sweeps at
+// the shared 8-processor test size.
+func TestGoldenFigure2Irregular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("irregular matrix in -short mode")
+	}
+	f, err := golden8().Figure2Irregular()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure2irregular.golden", sb.String())
+}
+
+// The study is byte-identical for any worker count, like every other
+// artifact (the -jobs invariance contract).
+func TestFigure2IrregularJobsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("irregular matrix twice in -short mode")
+	}
+	run := func(jobs int) string {
+		r := NewRunner()
+		r.Procs = 8
+		r.Jobs = jobs
+		f, err := r.Figure2Irregular()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := f.Write(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if run(1) != run(8) {
+		t.Fatal("fig2irregular differs between -jobs 1 and -jobs 8")
+	}
+}
+
+// RunTrace over a workload's wire-exported trace reproduces Run's result
+// exactly — the contract behind comasrv's guarantee that simulating by
+// trace_ref is byte-identical to simulating the generated workload.
+func TestRunTraceMatchesRun(t *testing.T) {
+	r := NewRunner()
+	r.Procs = 8
+	cfg := config.Baseline(2, config.MP50)
+	direct, err := r.Run("alloc-churn", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := r.Trace("alloc-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the wire format, as an upload would.
+	decoded, err := trace.DecodeCompact(tr.EncodeCompact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTrace, err := r.RunTrace(decoded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, viaTrace) {
+		t.Fatalf("RunTrace result diverges from Run:\nrun:      %+v\nruntrace: %+v", direct, viaTrace)
+	}
+}
+
+// RunTrace rejects a trace whose processor count disagrees with the
+// configuration instead of running a mis-sized machine.
+func TestRunTraceProcsMismatch(t *testing.T) {
+	r := NewRunner()
+	tr, err := r.TraceAt("pchase", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Baseline(1, config.MP6)
+	cfg.Procs = 8
+	if _, err := r.RunTrace(tr, cfg); err == nil {
+		t.Fatal("expected a processor-count mismatch error")
+	}
+}

@@ -188,6 +188,59 @@ func (r *Runner) Run(app string, cfg config.Machine) (*machine.Result, error) {
 	return c.res, c.err
 }
 
+// RunTrace simulates one configuration over a caller-supplied trace
+// instead of a registered workload — the comasrv trace-ingestion path
+// (POST /v1/simulate with "trace_ref"). Results are not memoized here:
+// the daemon's content-addressed store already deduplicates by request
+// key, and a CLI caller holds the trace itself. cfg.Procs must match the
+// trace. The simulation seams (OnSimulate, WrapSimulate, SinkFactory,
+// sampling, fidelity default) behave exactly as in Run, with the app
+// label "trace:<name>". Uploaded traces are validated before they get
+// here, but as defense in depth a panic out of the machine — which would
+// kill the daemon from an async job's goroutine — is converted into an
+// error.
+func (r *Runner) RunTrace(tr *trace.Trace, cfg config.Machine) (res *machine.Result, err error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = tr.Procs
+	}
+	if cfg.Procs != tr.Procs {
+		return nil, fmt.Errorf("trace:%s: trace has %d processors but the configuration asks for %d",
+			tr.Name, tr.Procs, cfg.Procs)
+	}
+	if cfg.Fidelity == (config.Fidelity{}) {
+		cfg.Fidelity = r.Fidelity
+	}
+	label := "trace:" + tr.Name
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("%s: simulation panic: %v", label, p)
+		}
+	}()
+	if r.OnSimulate != nil {
+		r.OnSimulate(label, cfg)
+	}
+	if r.WrapSimulate != nil {
+		finish := r.WrapSimulate(label, cfg)
+		defer func() { finish(err) }()
+	}
+	m, err := machine.New(cfg.Params(tr.WorkingSet))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", label, err)
+	}
+	if r.SinkFactory != nil {
+		m.SetSink(r.SinkFactory(label, cfg))
+	}
+	if r.SampleWindow > 0 {
+		m.EnableSampling(r.SampleWindow)
+	}
+	res, err = m.RunContext(r.ctx(), tr)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", label, err)
+	}
+	m.Release()
+	return res, nil
+}
+
 // simulate executes one run (no caching; Run wraps it in a cell).
 func (r *Runner) simulate(app string, cfg config.Machine) (res *machine.Result, err error) {
 	tr, err := r.TraceAt(app, cfg.Procs)

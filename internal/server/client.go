@@ -188,6 +188,55 @@ func (c *Client) Trace(ctx context.Context, id string) (tracing.TraceData, error
 	return td, err
 }
 
+// UploadTrace uploads a COMATRC2 wire payload (trace.EncodeCompact,
+// spec in TRACES.md) and returns the stored metadata; the digest it
+// carries is the trace_ref value Simulate accepts.
+func (c *Client) UploadTrace(ctx context.Context, payload []byte) (TraceMeta, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/traces", bytes.NewReader(payload))
+	if err != nil {
+		return TraceMeta{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return TraceMeta{}, err
+	}
+	var m TraceMeta
+	err = decode(resp, &m)
+	return m, err
+}
+
+// Traces lists the uploaded traces and the active quotas.
+func (c *Client) Traces(ctx context.Context) (TraceList, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/traces", nil)
+	if err != nil {
+		return TraceList{}, err
+	}
+	var l TraceList
+	err = decode(resp, &l)
+	return l, err
+}
+
+// TraceMeta fetches one uploaded trace's metadata by digest.
+func (c *Client) TraceMeta(ctx context.Context, digest string) (TraceMeta, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/traces/"+digest, nil)
+	if err != nil {
+		return TraceMeta{}, err
+	}
+	var m TraceMeta
+	err = decode(resp, &m)
+	return m, err
+}
+
+// DeleteTrace drops an uploaded trace by digest.
+func (c *Client) DeleteTrace(ctx context.Context, digest string) error {
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/traces/"+digest, nil)
+	if err != nil {
+		return err
+	}
+	return decode(resp, nil)
+}
+
 // FleetInfo fetches the shard's ring membership and peer-reachability
 // view; it errors on a single-shard daemon.
 func (c *Client) FleetInfo(ctx context.Context) (FleetInfo, error) {

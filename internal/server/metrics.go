@@ -33,6 +33,12 @@ type Metrics struct {
 	// control (Config.MaxQueue).
 	LoadShed int64 `json:"load_shed"`
 
+	// Uploaded-trace counters (POST /v1/traces and simulate-by-ref).
+	TracesUploaded int64 `json:"traces_uploaded"`
+	TracesDeleted  int64 `json:"traces_deleted"`
+	TracesRetained int   `json:"traces_retained"`
+	TraceSims      int64 `json:"trace_sims"`
+
 	// Store is the result store's counters.
 	Store store.Stats `json:"store"`
 
@@ -89,6 +95,9 @@ type counters struct {
 	simulatedExecNs  atomic.Int64
 	simulatedRuns    atomic.Int64
 	loadShed         atomic.Int64
+	tracesUploaded   atomic.Int64
+	tracesDeleted    atomic.Int64
+	traceSims        atomic.Int64
 
 	peerFillHits        atomic.Int64
 	peerFillMisses      atomic.Int64

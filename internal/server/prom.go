@@ -121,6 +121,12 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("comasrv_simulated_exec_ns_total", "Simulated (virtual) nanoseconds executed for /v1/simulate.", c.simulatedExecNs.Load())
 	p.counter("comasrv_load_shed_total", "Computations rejected with 429 by admission control.", c.loadShed.Load())
 
+	// Uploaded traces (POST /v1/traces and simulate-by-ref).
+	p.counter("comasrv_traces_uploaded_total", "Traces accepted by POST /v1/traces.", c.tracesUploaded.Load())
+	p.counter("comasrv_traces_deleted_total", "Uploaded traces deleted by clients.", c.tracesDeleted.Load())
+	p.counter("comasrv_trace_sims_total", "Simulations executed by trace_ref.", c.traceSims.Load())
+	p.gauge("comasrv_traces_retained", "Uploaded traces currently indexed.", float64(s.retainedTraces()))
+
 	// Pool and job occupancy.
 	p.gauge("comasrv_active_flights", "Computations currently executing.", float64(c.activeFlights.Load()))
 	p.gauge("comasrv_sim_slots", "Simulation pool capacity.", float64(s.pool.Size()))

@@ -23,16 +23,28 @@ import (
 // fidelity report in SimResult. Exact and sampled runs of the same
 // machine must never share a content address — sampled execution times
 // are estimates.
-const schemaVersion = 3
+//
+// v4: simulate-by-reference (the trace_ref field): a v4 request can name
+// an uploaded trace instead of a registered workload, and the machine
+// size comes from the trace, so a v3 cache entry keyed without the field
+// must never answer a v4 request.
+const schemaVersion = 4
 
 // SimRequest is the body of POST /v1/simulate: one (workload, machine
 // configuration) run. Zero fields take the paper's defaults, mirroring
 // cmd/comasim's flags; the canonical form spells every default out so
 // equivalent requests hash to the same content address.
 type SimRequest struct {
-	// App is the workload name (required; see GET /v1/workloads).
-	App string `json:"app"`
-	// Procs is the machine size (default 16, the paper's).
+	// App is the workload name (see GET /v1/workloads). Exactly one of
+	// App and TraceRef must be set.
+	App string `json:"app,omitempty"`
+	// TraceRef names an uploaded trace by its content digest (the 64-hex
+	// "digest" POST /v1/traces reported) instead of a registered
+	// workload. The machine size comes from the trace, so Procs must be
+	// left unset.
+	TraceRef string `json:"trace_ref,omitempty"`
+	// Procs is the machine size (default 16, the paper's). Invalid with
+	// TraceRef.
 	Procs int `json:"procs,omitempty"`
 	// ProcsPerNode is the clustering degree (default 1).
 	ProcsPerNode int `json:"procs_per_node,omitempty"`
@@ -84,6 +96,7 @@ type canonSim struct {
 	Schema       int     `json:"schema"`
 	Kind         string  `json:"kind"`
 	App          string  `json:"app"`
+	TraceRef     string  `json:"trace_ref"`
 	Procs        int     `json:"procs"`
 	ProcsPerNode int     `json:"procs_per_node"`
 	MP           string  `json:"mp"`
@@ -105,28 +118,44 @@ type canonSim struct {
 }
 
 // normalize validates the request, fills defaults in place, and returns
-// the machine configuration it describes.
+// the machine configuration it describes. A trace_ref request returns
+// the zero configuration: its machine size lives in the referenced
+// trace, so the caller resolves the geometry with r.geometry(tr.Procs)
+// once the trace is loaded.
 func (r *SimRequest) normalize() (config.Machine, error) {
-	if r.App == "" {
-		return config.Machine{}, fmt.Errorf("missing required field %q", "app")
-	}
-	if _, err := apps.ByName(r.App); err != nil {
-		return config.Machine{}, err
-	}
-	if r.Procs == 0 {
-		r.Procs = 16
+	if r.TraceRef != "" {
+		if r.App != "" {
+			return config.Machine{}, fmt.Errorf("app and trace_ref are mutually exclusive")
+		}
+		d, err := ParseTraceDigest(r.TraceRef)
+		if err != nil {
+			return config.Machine{}, err
+		}
+		r.TraceRef = d
+		if r.Procs != 0 {
+			return config.Machine{}, fmt.Errorf("procs is derived from the uploaded trace; leave it unset with trace_ref")
+		}
+	} else {
+		if r.App == "" {
+			return config.Machine{}, fmt.Errorf("missing required field %q (or trace_ref)", "app")
+		}
+		if _, err := apps.ByName(r.App); err != nil {
+			return config.Machine{}, err
+		}
+		if r.Procs == 0 {
+			r.Procs = 16
+		}
 	}
 	if r.ProcsPerNode == 0 {
 		r.ProcsPerNode = 1
 	}
-	if r.Procs < 1 || r.ProcsPerNode < 1 || r.Procs%r.ProcsPerNode != 0 {
-		return config.Machine{}, fmt.Errorf("procs (%d) must be a positive multiple of procs_per_node (%d)", r.Procs, r.ProcsPerNode)
+	if r.ProcsPerNode < 1 {
+		return config.Machine{}, fmt.Errorf("procs_per_node must be positive")
 	}
 	if r.MP == "" {
 		r.MP = "50%"
 	}
-	mp, err := config.PressureByLabel(r.MP)
-	if err != nil {
+	if _, err := config.PressureByLabel(r.MP); err != nil {
 		return config.Machine{}, err
 	}
 	if r.AMWays == 0 {
@@ -157,12 +186,8 @@ func (r *SimRequest) normalize() (config.Machine, error) {
 			return config.Machine{}, fmt.Errorf("clusters, link_latency_ns and link_bw are only valid with topology \"ring\"")
 		}
 	} else {
-		nodes := r.Procs / r.ProcsPerNode
-		if r.Clusters == 0 {
-			r.Clusters = nodes
-		}
-		if r.Clusters < 1 || nodes%r.Clusters != 0 {
-			return config.Machine{}, fmt.Errorf("%d nodes not divisible into %d ring clusters", nodes, r.Clusters)
+		if r.Clusters < 0 {
+			return config.Machine{}, fmt.Errorf("clusters must be non-negative (0 means one per node)")
 		}
 		if r.LinkLatencyNs == 0 {
 			r.LinkLatencyNs = int(machine.DefaultLinkLatency)
@@ -211,8 +236,39 @@ func (r *SimRequest) normalize() (config.Machine, error) {
 		r.FFWindowNs = int64(spec.Window)
 		r.FFPeriodNs = int64(spec.Period)
 	}
+	if r.TraceRef != "" {
+		// The procs-dependent geometry checks (node divisibility, ring
+		// cluster count) wait for the trace; the content address below
+		// keeps the request's own spelling (clusters 0 = one per node).
+		return config.Machine{}, nil
+	}
+	return r.geometry(r.Procs)
+}
+
+// geometry completes the processor-count-dependent validation deferred
+// by normalize and builds the machine configuration. The app path calls
+// it from normalize; the trace_ref path calls it in the compute closure
+// once the referenced trace — which carries the processor count — has
+// been loaded.
+func (r *SimRequest) geometry(procs int) (config.Machine, error) {
+	if procs < 1 || procs%r.ProcsPerNode != 0 {
+		return config.Machine{}, fmt.Errorf("procs (%d) must be a positive multiple of procs_per_node (%d)", procs, r.ProcsPerNode)
+	}
+	mp, err := config.PressureByLabel(r.MP)
+	if err != nil {
+		return config.Machine{}, err
+	}
+	if r.Topology == "ring" {
+		nodes := procs / r.ProcsPerNode
+		if r.Clusters == 0 {
+			r.Clusters = nodes
+		}
+		if nodes%r.Clusters != 0 {
+			return config.Machine{}, fmt.Errorf("%d nodes not divisible into %d ring clusters", nodes, r.Clusters)
+		}
+	}
 	cfg := config.Baseline(r.ProcsPerNode, mp)
-	cfg.Procs = r.Procs
+	cfg.Procs = procs
 	cfg.AMWays = r.AMWays
 	cfg.DRAMBandwidth = r.DRAMBandwidth
 	cfg.NCBandwidth = r.NCBandwidth
@@ -253,7 +309,8 @@ func (r SimRequest) CanonicalKey() (store.Key, error) {
 func (r *SimRequest) key() store.Key {
 	c := canonSim{
 		Schema: schemaVersion, Kind: "simulate",
-		App: r.App, Procs: r.Procs, ProcsPerNode: r.ProcsPerNode, MP: r.MP,
+		App: r.App, TraceRef: r.TraceRef,
+		Procs: r.Procs, ProcsPerNode: r.ProcsPerNode, MP: r.MP,
 		AMWays: r.AMWays, DRAM: r.DRAMBandwidth, NC: r.NCBandwidth,
 		Bus: r.BusBandwidth, Inclusive: *r.Inclusive, WriteUpdate: r.WriteUpdate,
 		Topology: r.Topology, Clusters: r.Clusters,

@@ -55,6 +55,12 @@ type Config struct {
 	// JobTTL bounds how long finished async jobs stay queryable before
 	// the background sweeper evicts them (0 = 15 minutes).
 	JobTTL time.Duration
+	// MaxTraceBytes bounds one POST /v1/traces payload
+	// (0 = DefaultMaxTraceBytes); larger uploads answer 413.
+	MaxTraceBytes int64
+	// MaxTraces bounds the uploaded-trace index (0 = DefaultMaxTraces);
+	// uploads past the bound answer 507 until one is deleted.
+	MaxTraces int
 }
 
 // Server is the comasrv HTTP API: the experiment engine behind
@@ -79,6 +85,9 @@ type Server struct {
 	jobSeq   int
 	// now is the job-eviction clock, injectable by the TTL tests.
 	now func() time.Time
+
+	tracesMu sync.Mutex
+	traceIdx map[string]TraceMeta
 
 	counters counters
 	obsSink  *lockedCounting
@@ -143,6 +152,7 @@ func New(cfg Config) (*Server, error) {
 		stop:      cancel,
 		flights:   make(map[flightKey]*flight),
 		jobs:      make(map[string]*job),
+		traceIdx:  make(map[string]TraceMeta),
 		obsSink:   &lockedCounting{},
 		logger:    logger,
 		tracer:    tracing.NewTracer(0),
@@ -183,6 +193,12 @@ func New(cfg Config) (*Server, error) {
 			s.mux.HandleFunc(r, s.handleJobCancel)
 		case "GET /v1/traces/{id}":
 			s.mux.HandleFunc(r, s.handleTrace)
+		case "POST /v1/traces":
+			s.mux.HandleFunc(r, s.handleTraceUpload)
+		case "GET /v1/traces":
+			s.mux.HandleFunc(r, s.handleTraceList)
+		case "DELETE /v1/traces/{id}":
+			s.mux.HandleFunc(r, s.handleTraceDelete)
 		case "GET /v1/fleet":
 			s.mux.HandleFunc(r, s.handleFleetInfo)
 		case "GET /v1/fleet/entries/{key}":
@@ -211,6 +227,9 @@ func Routes() []string {
 		"GET /v1/jobs/{id}/result",
 		"DELETE /v1/jobs/{id}",
 		"GET /v1/traces/{id}",
+		"POST /v1/traces",
+		"GET /v1/traces",
+		"DELETE /v1/traces/{id}",
 		"GET /v1/fleet",
 		"GET /v1/fleet/entries/{key}",
 		"PUT /v1/fleet/entries/{key}",
@@ -528,10 +547,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
-// handleTrace serves a retained trace from the tracer's ring, as JSON or
-// (with ?format=jsonl) one span per line.
+// handleTrace serves GET /v1/traces/{id}, which spans two namespaces
+// distinguished by ID shape: a 64-hex content digest names an uploaded
+// workload trace (POST /v1/traces), while the tracer ring's 32-hex IDs
+// name retained request traces, served as JSON or (with ?format=jsonl)
+// one span per line.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if digest, err := ParseTraceDigest(id); err == nil {
+		s.handleUploadedTraceGet(w, r, digest)
+		return
+	}
 	td, ok := s.tracer.Get(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown trace %q (ring keeps the most recent %d)", id, tracing.DefaultCapacity))
@@ -546,7 +572,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"workloads": apps.Names()})
+	// "workloads" stays the paper's Table 1 set; the irregular/allocator
+	// families ride in the additive "extras" list (both are valid "app"
+	// values for /v1/simulate).
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workloads": apps.Names(),
+		"extras":    apps.ExtraNames(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -568,6 +600,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SimulatedExecNs:  c.simulatedExecNs.Load(),
 		SimulatedRuns:    c.simulatedRuns.Load(),
 		LoadShed:         c.loadShed.Load(),
+		TracesUploaded:   c.tracesUploaded.Load(),
+		TracesDeleted:    c.tracesDeleted.Load(),
+		TracesRetained:   s.retainedTraces(),
+		TraceSims:        c.traceSims.Load(),
 		Store:            s.store.Stats(),
 		Obs:              s.obsSink.snapshot(),
 	}
@@ -727,10 +763,32 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	cspan.End()
 	nocache := r.URL.Query().Get("nocache") == "1"
 	compute := func(ctx context.Context) ([]byte, error) {
-		runner := s.newRunner(ctx, req.Procs, 1)
-		res, err := runner.Run(req.App, cfg)
-		if err != nil {
-			return nil, err
+		var res *machine.Result
+		if req.TraceRef != "" {
+			// Simulate-by-reference: the uploaded trace supplies the
+			// machine size, so the geometry checks normalize deferred run
+			// now — their failures are the client's, not the server's.
+			tr, err := s.loadTrace(ctx, req.TraceRef)
+			if err != nil {
+				return nil, err
+			}
+			tcfg, err := req.geometry(tr.Procs)
+			if err != nil {
+				return nil, &apiError{status: http.StatusBadRequest, msg: err.Error()}
+			}
+			runner := s.newRunner(ctx, tr.Procs, 1)
+			res, err = runner.RunTrace(tr, tcfg)
+			if err != nil {
+				return nil, err
+			}
+			s.counters.traceSims.Add(1)
+		} else {
+			runner := s.newRunner(ctx, req.Procs, 1)
+			var err error
+			res, err = runner.Run(req.App, cfg)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if rep := res.Fidelity; rep != nil {
 			// Annotate the trace with the run's fast-forward/detailed

@@ -47,6 +47,7 @@ type Stats struct {
 	DiskHits  int64 `json:"disk_hits"`
 	Misses    int64 `json:"misses"`
 	Puts      int64 `json:"puts"`
+	Deletes   int64 `json:"deletes"`
 	Corrupt   int64 `json:"corrupt"`
 	MemBytes  int64 `json:"mem_bytes"`
 	MemItems  int   `json:"mem_items"`
@@ -173,6 +174,28 @@ func (s *Store) Put(k Key, data []byte) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Delete removes k from both layers. Deleting an absent key is a no-op:
+// the store is a cache, and the caller's intent — "this key must not be
+// served" — holds either way.
+func (s *Store) Delete(k Key) error {
+	s.mu.Lock()
+	if el, ok := s.mem[k]; ok {
+		e := el.Value.(*memEntry)
+		s.order.Remove(el)
+		delete(s.mem, k)
+		s.memBytes -= int64(len(e.data))
+	}
+	s.stats.Deletes++
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	if err := os.Remove(s.path(k)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil

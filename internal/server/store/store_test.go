@@ -47,6 +47,39 @@ func TestPutGetRoundTrip(t *testing.T) {
 	}
 }
 
+// Delete removes an entry from both layers (a reopen proves the disk
+// file is gone) and deleting an absent key stays a no-op.
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf([]byte("req"))
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("Get after Delete reported a hit")
+	}
+	if st := s.Stats(); st.Deletes != 1 || st.MemItems != 0 || st.MemBytes != 0 {
+		t.Fatalf("stats after delete: %+v", st)
+	}
+	reopened, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reopened.Get(k); ok {
+		t.Fatal("deleted entry survived on disk")
+	}
+	if err := s.Delete(k); err != nil {
+		t.Fatal("deleting an absent key errored:", err)
+	}
+}
+
 // A restart (new Store over the same directory) must serve previously
 // persisted results from disk, then promote them into memory.
 func TestPersistenceAcrossReopen(t *testing.T) {

@@ -3,4 +3,10 @@
 // SimICS fed the memory-system model in the paper. Instruction fetches are
 // not represented (the paper assumes they always hit); instruction
 // execution time appears as explicit Compute records.
+//
+// Traces serialize to the compact COMATRC2 wire format (EncodeCompact /
+// DecodeCompact), specified normatively in TRACES.md at the repository
+// root. DecodeCompact is hardened against untrusted input — it is the
+// decoder behind comasrv's POST /v1/traces upload endpoint — and a
+// payload it accepts is guaranteed safe to simulate.
 package trace
