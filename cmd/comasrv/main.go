@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +46,10 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 0, "evict finished async jobs after this long (0 = 15m)")
 	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "reject trace uploads larger than this (0 = 8 MiB)")
 	maxTraces := flag.Int("max-traces", 0, "bound the uploaded-trace index (0 = 256)")
+	scrapeInterval := flag.Duration("scrape-interval", 0, "self-scrape period feeding /v1/metrics/history and the SSE stream (0 = 10s, negative disables)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "log requests slower than this at Warn level (0 disables)")
+	slowKeep := flag.Int("slow-keep", 0, "slow-request exemplars retained for /v1/debug/slow (0 = 32)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty disables; never exposed on -addr)")
 	shardID := flag.String("shard-id", "", "fleet mode: this shard's member ID (requires -peers)")
 	peers := flag.String("peers", "", `fleet mode: full membership as "id=url,id=url,..." including this shard`)
 	replicas := flag.Int("replicas", 0, "fleet mode: total copies for hot entries, owner included (0 = 2, 1 disables)")
@@ -56,15 +61,18 @@ func main() {
 	flags.Check("comasrv", err)
 
 	cfg := server.Config{
-		Jobs:          *jobs,
-		StoreDir:      *storeDir,
-		StoreMemBytes: *cacheBytes,
-		Timeout:       *timeout,
-		Logger:        logger,
-		MaxQueue:      *maxQueue,
-		JobTTL:        *jobTTL,
-		MaxTraceBytes: *maxTraceBytes,
-		MaxTraces:     *maxTraces,
+		Jobs:           *jobs,
+		StoreDir:       *storeDir,
+		StoreMemBytes:  *cacheBytes,
+		Timeout:        *timeout,
+		Logger:         logger,
+		MaxQueue:       *maxQueue,
+		JobTTL:         *jobTTL,
+		MaxTraceBytes:  *maxTraceBytes,
+		MaxTraces:      *maxTraces,
+		ScrapeInterval: *scrapeInterval,
+		SlowThreshold:  *slowThreshold,
+		SlowKeep:       *slowKeep,
 	}
 	if (*shardID == "") != (*peers == "") {
 		flags.Check("comasrv", fmt.Errorf("-shard-id and -peers must be set together"))
@@ -85,6 +93,27 @@ func main() {
 	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// The pprof surface lives on its own listener so profiling access is
+	// controlled by where -debug-addr binds, never by the public API mux
+	// (the default net/http/pprof registration on DefaultServeMux is
+	// irrelevant: neither listener serves DefaultServeMux).
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: debugMux}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -108,6 +137,9 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Warn("drain incomplete", "err", err)
+		}
+		if debugSrv != nil {
+			debugSrv.Shutdown(shutdownCtx)
 		}
 		srv.Close() // cancel any still-running jobs
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

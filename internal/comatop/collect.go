@@ -1,0 +1,376 @@
+package comatop
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs/tsdb"
+	"repro/internal/server"
+)
+
+// Row is one shard line of the dashboard: identity, liveness, and the
+// derived rates and quantiles. Rates are per-second deltas between the
+// collector's last two samples; quantiles come from the cumulative
+// request-duration histogram.
+type Row struct {
+	ID  string
+	URL string
+	Up  bool
+	Err string
+
+	ReqRate  float64 // requests per second
+	HitPct   float64 // result-store hits / (hits + executed sims), lifetime
+	FillRate float64 // peer-fill attempts per second (all outcomes)
+	ShedRate float64 // 429 sheds per second
+
+	P50Ms      float64 // request duration p50
+	P99Ms      float64 // request duration p99
+	QWaitP99Ms float64 // simulation queue wait p99
+}
+
+// Snapshot is one collected dashboard state, ready to Render.
+type Snapshot struct {
+	At        time.Time
+	FleetMode bool // false = single-shard fallback over direct /metrics
+	Members   int
+	UpShards  int
+	Rows      []Row
+
+	// Fleet-summed per-step rates over the history window, for the
+	// sparklines. Empty when no shard serves history yet.
+	ReqSpark  []float64
+	FillSpark []float64
+}
+
+// Collector polls a comasrv fleet and derives dashboard snapshots. It
+// keeps the previous sample set so the second and later Collect calls
+// carry rates; the zero interval before the first sample reads as 0.
+type Collector struct {
+	// Targets are candidate base URLs. The first one serving
+	// /v1/fleet/metrics defines the fleet; if every target answers 404
+	// (single-shard daemons) each target becomes one row.
+	Targets []string
+	// Window is the sparkline history window (0 = 1h).
+	Window time.Duration
+	// HTTP defaults to a client with a short per-poll timeout.
+	HTTP *http.Client
+
+	prev   map[string]prevSample // by shard ID (or target URL when single-shard)
+	prevAt time.Time
+}
+
+type prevSample struct {
+	at      time.Time
+	samples map[string]float64
+}
+
+func (c *Collector) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	c.HTTP = &http.Client{Timeout: 5 * time.Second}
+	return c.HTTP
+}
+
+func (c *Collector) window() time.Duration {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return time.Hour
+}
+
+// Collect polls the fleet once. It errors only when no target is
+// reachable at all; individual dead shards come back as down rows.
+func (c *Collector) Collect(ctx context.Context) (Snapshot, error) {
+	now := time.Now()
+	snap := Snapshot{At: now}
+
+	view, fleetURL, err := c.fetchFleetView(ctx)
+	if err == nil {
+		snap.FleetMode = true
+		snap.Members = view.Members
+		snap.UpShards = view.UpShards
+		for _, sh := range view.Shards {
+			snap.Rows = append(snap.Rows, c.deriveRow(sh.ID, sh.URL, sh.Up, sh.Error, sh.Samples, now))
+		}
+		_ = fleetURL
+	} else {
+		// Single-shard fallback: every target is its own row, scraped
+		// directly.
+		var reachable int
+		for _, target := range c.Targets {
+			samples, scrapeErr := c.scrapeDirect(ctx, target)
+			snap.Members++
+			if scrapeErr != nil {
+				snap.Rows = append(snap.Rows, Row{ID: targetID(target), URL: target, Err: scrapeErr.Error()})
+				continue
+			}
+			reachable++
+			snap.UpShards++
+			snap.Rows = append(snap.Rows, c.deriveRow(targetID(target), target, true, "", samples, now))
+		}
+		if reachable == 0 {
+			return snap, fmt.Errorf("no target reachable (fleet view: %v)", err)
+		}
+	}
+
+	c.prevAt = now
+	snap.ReqSpark, snap.FillSpark = c.fetchSparks(ctx, snap.Rows)
+	return snap, nil
+}
+
+// fetchFleetView asks each target for the merged fleet view, returning
+// the first success and the target that served it. A 404 means the
+// daemon runs single-shard and is reported as an error so Collect falls
+// back.
+func (c *Collector) fetchFleetView(ctx context.Context) (server.FleetMetricsView, string, error) {
+	var lastErr error = fmt.Errorf("no targets configured")
+	for _, target := range c.Targets {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/fleet/metrics", nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.client().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("%s: HTTP %d", target, resp.StatusCode)
+			continue
+		}
+		var view server.FleetMetricsView
+		if err := json.Unmarshal(body, &view); err != nil {
+			lastErr = fmt.Errorf("%s: %w", target, err)
+			continue
+		}
+		return view, target, nil
+	}
+	return server.FleetMetricsView{}, "", lastErr
+}
+
+// scrapeDirect GETs and parses one target's raw /metrics exposition.
+func (c *Collector) scrapeDirect(ctx context.Context, target string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	sc, err := tsdb.ParseExposition(string(body))
+	if err != nil {
+		return nil, err
+	}
+	samples := make(map[string]float64, len(sc.Samples))
+	for _, sa := range sc.Samples {
+		samples[sa.Key()] = sa.Value
+	}
+	return samples, nil
+}
+
+// deriveRow turns one shard's raw sample set into a dashboard row,
+// using the collector's previous sample of the same shard for rates.
+func (c *Collector) deriveRow(id, rawURL string, up bool, errText string, samples map[string]float64, now time.Time) Row {
+	row := Row{ID: id, URL: rawURL, Up: up, Err: errText}
+	if !up {
+		return row
+	}
+	if c.prev == nil {
+		c.prev = make(map[string]prevSample)
+	}
+	prev, hasPrev := c.prev[id]
+	c.prev[id] = prevSample{at: now, samples: samples}
+
+	rate := func(family string) float64 {
+		if !hasPrev {
+			return 0
+		}
+		dt := now.Sub(prev.at).Seconds()
+		if dt <= 0 {
+			return 0
+		}
+		d := sumFamily(samples, family) - sumFamily(prev.samples, family)
+		if d < 0 {
+			d = 0 // counter reset (shard restart)
+		}
+		return d / dt
+	}
+	row.ReqRate = rate("comasrv_requests_total")
+	row.FillRate = rate("comasrv_peer_fill_total")
+	row.ShedRate = rate("comasrv_load_shed_total")
+
+	hits := sumFamily(samples, "comasrv_cache_hits_total")
+	sims := sumFamily(samples, "comasrv_sims_executed_total")
+	if hits+sims > 0 {
+		row.HitPct = 100 * hits / (hits + sims)
+	}
+	row.P50Ms = quantileMs(samples, "comasrv_request_duration_seconds", 0.50)
+	row.P99Ms = quantileMs(samples, "comasrv_request_duration_seconds", 0.99)
+	row.QWaitP99Ms = quantileMs(samples, "comasrv_queue_wait_seconds", 0.99)
+	return row
+}
+
+// sumFamily adds every sample of one family across its label variants
+// (e.g. comasrv_peer_fill_total{outcome=...}).
+func sumFamily(samples map[string]float64, family string) float64 {
+	var sum float64
+	for k, v := range samples {
+		if k == family || strings.HasPrefix(k, family+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// quantileMs estimates a quantile in milliseconds from a cumulative
+// Prometheus histogram's samples, interpolating linearly inside the
+// chosen bucket (the Prometheus histogram_quantile convention). A
+// quantile landing in the +Inf bucket reports the largest finite bound.
+func quantileMs(samples map[string]float64, family string, q float64) float64 {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	prefix := family + `_bucket{le="`
+	for k, v := range samples {
+		rest, ok := strings.CutPrefix(k, prefix)
+		if !ok {
+			continue
+		}
+		leText, _, ok := strings.Cut(rest, `"`)
+		if !ok {
+			continue
+		}
+		le, err := strconv.ParseFloat(leText, 64)
+		if err != nil || math.IsInf(le, 0) {
+			continue // the +Inf bucket is covered by _count
+		}
+		buckets = append(buckets, bucket{le: le, cum: v})
+	}
+	total := samples[family+"_count"]
+	if len(buckets) == 0 || total == 0 {
+		return 0
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	target := q * total
+	var lowerBound, lowerCum float64
+	for _, b := range buckets {
+		if b.cum >= target {
+			span := b.cum - lowerCum
+			if span <= 0 {
+				return b.le * 1000
+			}
+			return (lowerBound + (b.le-lowerBound)*(target-lowerCum)/span) * 1000
+		}
+		lowerBound, lowerCum = b.le, b.cum
+	}
+	return buckets[len(buckets)-1].le * 1000 // landed in +Inf
+}
+
+// fetchSparks pulls each up shard's metric history and folds it into
+// fleet-wide per-step rate series for the request and peer-fill
+// sparklines. History is best-effort: a shard without the endpoint (or
+// mid-restart) just contributes nothing.
+func (c *Collector) fetchSparks(ctx context.Context, rows []Row) (reqs, fills []float64) {
+	reqByT := make(map[int64]float64)
+	fillByT := make(map[int64]float64)
+	for _, row := range rows {
+		if !row.Up {
+			continue
+		}
+		h, err := c.fetchHistory(ctx, row.URL)
+		if err != nil {
+			continue
+		}
+		for _, s := range h.Series {
+			byT := reqByT
+			if s.Name == "comasrv_peer_fill_total" {
+				byT = fillByT
+			}
+			for _, p := range s.Points {
+				byT[int64(p[0])] += p[1]
+			}
+		}
+	}
+	return counterDeltas(reqByT), counterDeltas(fillByT)
+}
+
+func (c *Collector) fetchHistory(ctx context.Context, target string) (server.History, error) {
+	q := url.Values{}
+	q.Set("window", c.window().String())
+	q.Set("family", "comasrv_requests_total,comasrv_peer_fill_total")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/metrics/history?"+q.Encode(), nil)
+	if err != nil {
+		return server.History{}, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return server.History{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.History{}, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var h server.History
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	return h, err
+}
+
+// counterDeltas orders a timestamp→value map and returns the successive
+// non-negative deltas — the per-step increase of a (fleet-summed)
+// cumulative counter.
+func counterDeltas(byT map[int64]float64) []float64 {
+	if len(byT) < 2 {
+		return nil
+	}
+	ts := make([]int64, 0, len(byT))
+	for t := range byT {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := make([]float64, 0, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		d := byT[ts[i]] - byT[ts[i-1]]
+		if d < 0 {
+			d = 0
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// targetID condenses a target URL into a row label for single-shard
+// mode (the host:port part).
+func targetID(target string) string {
+	if u, err := url.Parse(target); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return target
+}

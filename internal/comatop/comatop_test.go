@@ -1,0 +1,224 @@
+package comatop
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+// swapHandler lets the httptest listeners exist before the daemons that
+// serve them (fleet members need each other's URLs at construction).
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (sh *swapHandler) Set(h http.Handler) {
+	sh.mu.Lock()
+	sh.h = h
+	sh.mu.Unlock()
+}
+
+func (sh *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sh.mu.Lock()
+	h := sh.h
+	sh.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// newFleet boots n real shards with the self-scrape loop disabled (the
+// tests scrape deterministically through the public API instead).
+func newFleet(t *testing.T, n int) (srvs []*server.Server, urls []string, kill func(i int)) {
+	t.Helper()
+	swaps := make([]*swapHandler, n)
+	servers := make([]*httptest.Server, n)
+	members := make([]fleet.Member, n)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+		servers[i] = httptest.NewServer(swaps[i])
+		t.Cleanup(servers[i].Close)
+		members[i] = fleet.Member{ID: fmt.Sprintf("s%d", i), URL: servers[i].URL}
+		urls = append(urls, servers[i].URL)
+	}
+	for i := range swaps {
+		srv, err := server.New(server.Config{
+			Jobs:           2,
+			StoreDir:       t.TempDir(),
+			ScrapeInterval: 50 * time.Millisecond,
+			Fleet: &server.FleetConfig{
+				ShardID:       members[i].ID,
+				Members:       members,
+				PeerTimeout:   500 * time.Millisecond,
+				ProbeInterval: -1,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		swaps[i].Set(srv)
+		srvs = append(srvs, srv)
+	}
+	return srvs, urls, func(i int) { servers[i].Close() }
+}
+
+// A healthy fleet renders one up row per shard with live rates, and the
+// request sparkline shows the traffic burst.
+func TestCollectAndRenderFleet(t *testing.T) {
+	_, urls, _ := newFleet(t, 3)
+	ctx := context.Background()
+	// The 2m window stays inside the fine tier's 360s span (1s steps at
+	// this cadence) so the sparkline differences per-second points.
+	col := &Collector{Targets: urls, Window: 2 * time.Minute}
+
+	// Traffic against every shard across several of the store's 1-second
+	// history buckets (the 50ms scrape cadence sizes the fine tier to
+	// 1s), so the fleet sparkline has rising points to difference.
+	for round := 0; round < 3; round++ {
+		for _, u := range urls {
+			c := server.NewClient(u)
+			if _, _, err := c.Simulate(ctx, server.SimRequest{App: "fft", Procs: 8, MP: "6%"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(1100 * time.Millisecond)
+	}
+
+	if _, err := col.Collect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// More traffic between the samples so the rate columns are nonzero.
+	for _, u := range urls {
+		if err := server.NewClient(u).Healthz(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	snap, err := col.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !snap.FleetMode || snap.Members != 3 || snap.UpShards != 3 {
+		t.Fatalf("snapshot header = fleet=%v %d/%d, want fleet 3/3", snap.FleetMode, snap.UpShards, snap.Members)
+	}
+	var reqRate float64
+	for _, r := range snap.Rows {
+		if !r.Up || r.Err != "" {
+			t.Fatalf("row %+v, want up", r)
+		}
+		if r.P99Ms <= 0 {
+			t.Fatalf("row %s has no request-duration quantile: %+v", r.ID, r)
+		}
+		reqRate += r.ReqRate
+	}
+	if reqRate <= 0 {
+		t.Fatalf("no shard shows request throughput: %+v", snap.Rows)
+	}
+	if len(snap.ReqSpark) == 0 {
+		t.Fatal("no request sparkline despite banked history")
+	}
+
+	out := Render(snap)
+	for _, want := range []string{"3/3 shards up", "SHARD", "s0", "s1", "s2", "fleet req/s", "fleet fill/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▂▃▄▅▆▇█") {
+		t.Fatalf("request sparkline shows no activity:\n%s", out)
+	}
+}
+
+// Killing a shard degrades the dashboard — the dead member renders as a
+// down row — without erroring the collection.
+func TestCollectMarksDeadShardDown(t *testing.T) {
+	_, urls, kill := newFleet(t, 3)
+	ctx := context.Background()
+	kill(2)
+
+	// Target only live shards (the CI probe may also list the dead one
+	// first; fetchFleetView skips unreachable targets).
+	col := &Collector{Targets: []string{urls[2], urls[0]}, Window: time.Hour}
+	snap, err := col.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.FleetMode || snap.UpShards != 2 || snap.Members != 3 {
+		t.Fatalf("snapshot = fleet=%v %d/%d, want fleet 2/3", snap.FleetMode, snap.UpShards, snap.Members)
+	}
+	out := Render(snap)
+	if !strings.Contains(out, "2/3 shards up") {
+		t.Fatalf("header does not report the outage:\n%s", out)
+	}
+	var downLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "s2") {
+			downLine = line
+		}
+	}
+	if !strings.Contains(downLine, "down") || downLine == "" {
+		t.Fatalf("s2 not rendered as down:\n%s", out)
+	}
+}
+
+// A single-shard daemon (no fleet) still renders: the collector falls
+// back to scraping each target's /metrics directly.
+func TestCollectSingleShardFallback(t *testing.T) {
+	srv, err := server.New(server.Config{Jobs: 2, StoreDir: t.TempDir(), ScrapeInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+	if err := server.NewClient(ts.URL).Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	col := &Collector{Targets: []string{ts.URL}}
+	snap, err := col.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FleetMode || snap.Members != 1 || snap.UpShards != 1 {
+		t.Fatalf("snapshot = fleet=%v %d/%d, want single-shard 1/1", snap.FleetMode, snap.UpShards, snap.Members)
+	}
+	if out := Render(snap); !strings.Contains(out, "single-shard") {
+		t.Fatalf("rendering does not note the fallback mode:\n%s", out)
+	}
+}
+
+// Every target dead is the one hard failure.
+func TestCollectAllDeadErrors(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close()
+	col := &Collector{Targets: []string{ts.URL}}
+	if _, err := col.Collect(context.Background()); err == nil {
+		t.Fatal("collect over only dead targets returned no error")
+	}
+}
+
+// The sparkline scales to its max and keeps positive samples visible
+// above the zero baseline.
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{0, 1, 2, 4, 8}); got != "▁▂▂▄█" {
+		t.Fatalf("sparkline = %q, want ▁▂▂▄█", got)
+	}
+	if got := sparkline([]float64{0, 0}); got != "▁▁" {
+		t.Fatalf("all-zero sparkline = %q, want baseline glyphs", got)
+	}
+}

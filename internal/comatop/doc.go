@@ -1,0 +1,11 @@
+// Package comatop collects and renders the fleet-wide terminal
+// dashboard behind cmd/comatop. A Collector polls the observability
+// surface grown by the daemon — GET /v1/fleet/metrics for the merged
+// per-shard sample view (falling back to each target's /metrics when
+// the daemon runs single-shard) and GET /v1/metrics/history for the
+// sparkline series — and derives per-shard throughput, cache-hit,
+// peer-fill and shed rates plus latency quantiles from the raw
+// Prometheus samples. Render is a pure snapshot-to-text function (plain
+// ANSI, no terminal library) so the dashboard is testable byte-for-byte
+// and usable as a one-shot CI probe via comatop -once.
+package comatop

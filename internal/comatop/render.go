@@ -1,0 +1,106 @@
+package comatop
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sparkCells bounds the sparkline width.
+const sparkCells = 48
+
+// sparkLevels are the eight block glyphs a sparkline quantizes into —
+// the same scale internal/experiments uses for simulation timelines.
+var sparkLevels = [8]rune{'▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// downsample max-pools vals into at most sparkCells buckets so recent
+// spikes survive compression.
+func downsample(vals []float64) []float64 {
+	n := len(vals)
+	if n <= sparkCells {
+		return vals
+	}
+	out := make([]float64, sparkCells)
+	for j := 0; j < sparkCells; j++ {
+		lo, hi := j*n/sparkCells, (j+1)*n/sparkCells
+		max := vals[lo]
+		for _, v := range vals[lo+1 : hi] {
+			if v > max {
+				max = v
+			}
+		}
+		out[j] = max
+	}
+	return out
+}
+
+// sparkline renders vals as block glyphs scaled to their maximum; any
+// positive sample renders at least the second level, so activity is
+// always distinguishable from the zero baseline.
+func sparkline(vals []float64) string {
+	vals = downsample(vals)
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		lvl := 0
+		if max > 0 && v > 0 {
+			lvl = int(v * 7 / max)
+			if lvl > 7 {
+				lvl = 7
+			}
+			if lvl < 1 {
+				lvl = 1
+			}
+		}
+		b.WriteRune(sparkLevels[lvl])
+	}
+	return b.String()
+}
+
+// Render draws one snapshot as plain text: a header line, one aligned
+// row per shard (a down shard renders its state and error, never
+// breaking the table), and the fleet-summed sparklines. It is a pure
+// function so tests can assert on exact output.
+func Render(s Snapshot) string {
+	var b strings.Builder
+
+	mode := "fleet"
+	if !s.FleetMode {
+		mode = "single-shard"
+	}
+	fmt.Fprintf(&b, "comatop — %d/%d shards up — %s — %s\n",
+		s.UpShards, s.Members, s.At.UTC().Format("2006-01-02T15:04:05Z"), mode)
+
+	idW := len("SHARD")
+	for _, r := range s.Rows {
+		if len(r.ID) > idW {
+			idW = len(r.ID)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-5s  %8s  %6s  %8s  %8s  %8s  %8s  %8s\n",
+		idW, "SHARD", "STATE", "REQ/S", "HIT%", "FILL/S", "SHED/S", "P50ms", "P99ms", "QW99ms")
+	for _, r := range s.Rows {
+		if !r.Up {
+			fmt.Fprintf(&b, "%-*s  %-5s  %s\n", idW, r.ID, "down", r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s  %-5s  %8.1f  %6.1f  %8.1f  %8.1f  %8.2f  %8.2f  %8.2f\n",
+			idW, r.ID, "up", r.ReqRate, r.HitPct, r.FillRate, r.ShedRate, r.P50Ms, r.P99Ms, r.QWaitP99Ms)
+	}
+
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "fleet req/s   %s\n", sparkOrIdle(s.ReqSpark))
+	fmt.Fprintf(&b, "fleet fill/s  %s\n", sparkOrIdle(s.FillSpark))
+	return b.String()
+}
+
+func sparkOrIdle(vals []float64) string {
+	if len(vals) == 0 {
+		return "(no history yet)"
+	}
+	return sparkline(vals)
+}

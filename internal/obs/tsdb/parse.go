@@ -1,0 +1,116 @@
+package tsdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposition sample: the sample name (family name plus
+// any _bucket/_sum/_count suffix), the raw label block including braces
+// ("" when unlabeled), and the parsed value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Key is the exposition-form identity: name immediately followed by the
+// label block.
+func (s Sample) Key() string { return s.Name + s.Labels }
+
+// Family is one family's metadata as declared by its HELP/TYPE headers.
+type Family struct {
+	Name string
+	Help string
+	Type string
+}
+
+// Scrape is one parsed exposition page: family metadata in order of
+// appearance and every sample in page order.
+type Scrape struct {
+	Families []Family
+	Samples  []Sample
+}
+
+// FamilyOf maps a sample name back to its family: histogram samples
+// carry _bucket/_sum/_count suffixes on top of the family name.
+func (sc Scrape) FamilyOf(sampleName string) string {
+	types := make(map[string]string, len(sc.Families))
+	for _, f := range sc.Families {
+		types[f.Name] = f.Type
+	}
+	return familyOf(sampleName, func(base string) bool { return types[base] == "histogram" })
+}
+
+func familyOf(sampleName string, isHistogram func(string) bool) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sampleName, suffix); ok && isHistogram(base) {
+			return base
+		}
+	}
+	return sampleName
+}
+
+// ParseExposition parses a Prometheus text page (format 0.0.4) into
+// samples and family metadata. It accepts exactly the subset the server
+// emits — HELP/TYPE comments and `name[{labels}] value` samples — and
+// rejects anything it cannot account for, so a corrupt peer scrape is
+// an error, not silently partial data.
+func ParseExposition(text string) (Scrape, error) {
+	var sc Scrape
+	seen := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, found := strings.Cut(rest, " ")
+			if !found || name == "" {
+				return Scrape{}, fmt.Errorf("tsdb: line %d: malformed HELP", lineNo)
+			}
+			if !seen[name] {
+				seen[name] = true
+				sc.Families = append(sc.Families, Family{Name: name, Help: help})
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				return Scrape{}, fmt.Errorf("tsdb: line %d: malformed TYPE", lineNo)
+			}
+			for i := range sc.Families {
+				if sc.Families[i].Name == f[0] {
+					sc.Families[i].Type = f[1]
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return Scrape{}, fmt.Errorf("tsdb: line %d: no value: %q", lineNo, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return Scrape{}, fmt.Errorf("tsdb: line %d: bad value %q", lineNo, line[sp+1:])
+		}
+		name, labels := line[:sp], ""
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return Scrape{}, fmt.Errorf("tsdb: line %d: unterminated label block: %q", lineNo, line)
+			}
+			labels = name[i:]
+			name = name[:i]
+		}
+		if name == "" {
+			return Scrape{}, fmt.Errorf("tsdb: line %d: empty sample name", lineNo)
+		}
+		sc.Samples = append(sc.Samples, Sample{Name: name, Labels: labels, Value: v})
+	}
+	return sc, nil
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strings"
 	"time"
 
 	"repro/internal/obs/tracing"
@@ -247,6 +249,57 @@ func (c *Client) FleetInfo(ctx context.Context) (FleetInfo, error) {
 	var fi FleetInfo
 	err = decode(resp, &fi)
 	return fi, err
+}
+
+// MetricsHistory fetches the self-scraped metric series over window at
+// step resolution, optionally filtered to the named families (zero
+// values accept the server defaults).
+func (c *Client) MetricsHistory(ctx context.Context, window, step time.Duration, families []string) (History, error) {
+	q := url.Values{}
+	if window > 0 {
+		q.Set("window", window.String())
+	}
+	if step > 0 {
+		q.Set("step", step.String())
+	}
+	if len(families) > 0 {
+		q.Set("family", strings.Join(families, ","))
+	}
+	path := "/v1/metrics/history"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return History{}, err
+	}
+	var h History
+	err = decode(resp, &h)
+	return h, err
+}
+
+// FleetMetrics fetches the merged fleet-wide metrics view (every
+// shard's /metrics scraped by the target shard); it errors on a
+// single-shard daemon.
+func (c *Client) FleetMetrics(ctx context.Context) (FleetMetricsView, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/fleet/metrics", nil)
+	if err != nil {
+		return FleetMetricsView{}, err
+	}
+	var v FleetMetricsView
+	err = decode(resp, &v)
+	return v, err
+}
+
+// SlowRequests fetches the slowest-request exemplars, slowest first.
+func (c *Client) SlowRequests(ctx context.Context) (SlowReport, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/debug/slow", nil)
+	if err != nil {
+		return SlowReport{}, err
+	}
+	var rep SlowReport
+	err = decode(resp, &rep)
+	return rep, err
 }
 
 // Metrics fetches the service counters.

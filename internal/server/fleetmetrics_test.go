@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// A healthy cluster merges every shard's samples and sums them into the
+// fleet aggregate; identity families are excluded from the sum.
+func TestFleetMetricsMergedView(t *testing.T) {
+	srvs, clients := newFleetCluster(t, 2, func(i int, cfg *Config) {
+		cfg.ScrapeInterval = -1
+	})
+	ctx := context.Background()
+	for _, c := range clients {
+		if err := c.Healthz(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view, err := clients[0].FleetMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ShardID != "s0" || view.Members != 2 || view.UpShards != 2 {
+		t.Fatalf("view identity = %q members=%d up=%d, want s0/2/2", view.ShardID, view.Members, view.UpShards)
+	}
+	var total float64
+	for i, sh := range view.Shards {
+		if !sh.Up || sh.Error != "" {
+			t.Fatalf("shard %s: up=%v err=%q, want clean scrape", sh.ID, sh.Up, sh.Error)
+		}
+		v, ok := sh.Samples["comasrv_requests_total"]
+		if !ok || v < 1 {
+			t.Fatalf("shard %s requests_total = %g (present=%v), want >= 1", sh.ID, v, ok)
+		}
+		total += v
+		_ = i
+	}
+	if got := view.Fleet["comasrv_requests_total"]; got != total {
+		t.Fatalf("fleet aggregate requests_total = %g, want sum of shards %g", got, total)
+	}
+	for k := range view.Fleet {
+		if strings.Contains(k, "comasrv_uptime_seconds") || strings.Contains(k, "_info") {
+			t.Fatalf("fleet aggregate carries identity family %q; summing it is meaningless", k)
+		}
+	}
+	_ = srvs
+}
+
+// A dead peer degrades the view — marked down with its error recorded —
+// and never fails the request.
+func TestFleetMetricsDownShardPartialResults(t *testing.T) {
+	deadTS := httptest.NewServer(http.NotFoundHandler())
+	deadTS.Close() // connection refused from here on
+	selfSwap := &swapHandler{}
+	selfTS := httptest.NewServer(selfSwap)
+	t.Cleanup(selfTS.Close)
+	srv, err := New(Config{
+		Jobs:           4,
+		StoreDir:       t.TempDir(),
+		ScrapeInterval: -1,
+		Fleet: &FleetConfig{
+			ShardID: "self",
+			Members: []fleet.Member{
+				{ID: "self", URL: selfTS.URL},
+				{ID: "dead", URL: deadTS.URL},
+			},
+			PeerTimeout:   200 * time.Millisecond,
+			ProbeInterval: -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	selfSwap.Set(srv)
+
+	view, err := NewClient(selfTS.URL).FleetMetrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Members != 2 || view.UpShards != 1 {
+		t.Fatalf("members=%d up=%d, want 2/1", view.Members, view.UpShards)
+	}
+	byID := map[string]ShardMetrics{}
+	for _, sh := range view.Shards {
+		byID[sh.ID] = sh
+	}
+	if !byID["self"].Up {
+		t.Fatalf("self scrape failed: %+v", byID["self"])
+	}
+	if d := byID["dead"]; d.Up || d.Error == "" || d.Samples != nil {
+		t.Fatalf("dead shard = %+v, want up=false with an error and no samples", d)
+	}
+}
+
+// The merged Prometheus rendering must itself be a well-formed
+// exposition: one HELP/TYPE per family, a shard label on every sample,
+// per-shard histogram series with monotone buckets — LintExposition is
+// the same gate CI runs against a single shard's /metrics.
+func TestFleetMetricsPromRenderingLints(t *testing.T) {
+	srvs, clients := newFleetCluster(t, 3, func(i int, cfg *Config) {
+		cfg.ScrapeInterval = -1
+	})
+	ctx := context.Background()
+	for _, c := range clients {
+		if _, _, err := c.Simulate(ctx, fastSim()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := clients[1].httpClient().Get(clients[1].Base + "/v1/fleet/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if err := LintExposition(text); err != nil {
+		t.Fatalf("merged fleet exposition fails lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`comasrv_fleet_shard_up{shard="s0"} 1`,
+		`comasrv_fleet_shard_up{shard="s1"} 1`,
+		`comasrv_fleet_shard_up{shard="s2"} 1`,
+		`comasrv_requests_total{shard="s0"}`,
+		`comasrv_request_duration_seconds_bucket{shard="s2",le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged exposition lacks %q", want)
+		}
+	}
+	if n := strings.Count(text, "# TYPE comasrv_requests_total "); n != 1 {
+		t.Errorf("TYPE header for requests_total appears %d times, want once", n)
+	}
+	_ = srvs
+}
+
+// Without fleet mode the endpoint 404s like every other fleet surface.
+func TestFleetMetricsSingleShard404(t *testing.T) {
+	_, c := newTestServer(t, Config{ScrapeInterval: -1})
+	resp, err := c.httpClient().Get(c.Base + "/v1/fleet/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("single-shard /v1/fleet/metrics: HTTP %d, want 404", resp.StatusCode)
+	}
+}

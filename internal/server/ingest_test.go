@@ -162,11 +162,11 @@ func TestSimulateTraceRefValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := []SimRequest{
-		{TraceRef: meta.Digest, App: "fft"},            // mutually exclusive
-		{TraceRef: meta.Digest, Procs: 8},              // procs comes from the trace
-		{TraceRef: "zz"},                               // not a digest
-		{TraceRef: strings.Repeat("g", 64)},            // right length, not hex
-		{TraceRef: meta.Digest, ProcsPerNode: 3},       // 4 procs not divisible by 3 (deferred geometry)
+		{TraceRef: meta.Digest, App: "fft"},                    // mutually exclusive
+		{TraceRef: meta.Digest, Procs: 8},                      // procs comes from the trace
+		{TraceRef: "zz"},                                       // not a digest
+		{TraceRef: strings.Repeat("g", 64)},                    // right length, not hex
+		{TraceRef: meta.Digest, ProcsPerNode: 3},               // 4 procs not divisible by 3 (deferred geometry)
 		{TraceRef: meta.Digest, Topology: "ring", Clusters: 3}, // 4 nodes, 3 clusters
 	}
 	for i, req := range bad {

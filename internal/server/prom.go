@@ -103,6 +103,14 @@ func (p *promWriter) histogram(name, help string, h *histogram) {
 var busClassNames = [3]string{"read", "write", "replace"}
 
 func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(s.renderProm())
+}
+
+// renderProm produces the full Prometheus text exposition. It backs GET
+// /metrics, the self-scrape loop that feeds the history store, and the
+// self slice of the fleet-wide /v1/fleet/metrics merge.
+func (s *Server) renderProm() []byte {
 	c := &s.counters
 	var p promWriter
 
@@ -200,16 +208,18 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.header("comasrv_build_info", "Build identity (value is always 1).", "gauge")
 	fmt.Fprintf(&p.b, "comasrv_build_info{go_version=%q,revision=%q} 1\n", runtime.Version(), buildID.rev)
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write([]byte(p.b.String()))
+	return []byte(p.b.String())
 }
 
 // LintExposition validates a Prometheus text exposition (format 0.0.4):
 // every sample belongs to a family with HELP and TYPE headers, sample
 // values parse, histogram bucket counts are cumulative (monotonically
-// non-decreasing) and end in a +Inf bucket matching _count. The docs
-// conformance test and the CI boot smoke run it against a live /metrics
-// scrape so a malformed exposition fails the build, not the scrape.
+// non-decreasing) and end in a +Inf bucket matching _count. Histogram
+// state is tracked per label set (minus the le pair), so a family that
+// carries one histogram per shard — the merged /v1/fleet/metrics
+// rendering — is linted series by series. The docs conformance test and
+// the CI boot smoke run it against a live /metrics scrape so a
+// malformed exposition fails the build, not the scrape.
 func LintExposition(body string) error {
 	help := make(map[string]bool)
 	typ := make(map[string]string)
@@ -280,15 +290,16 @@ func LintExposition(body string) error {
 			return fmt.Errorf("line %d: sample %s has no TYPE header", lineNo, name)
 		}
 		if typ[family] == "histogram" {
-			st := hists[family]
+			group := family + stripLabel(labels, "le")
+			st := hists[group]
 			if st == nil {
 				st = &histState{}
-				hists[family] = st
+				hists[group] = st
 			}
 			switch {
 			case strings.HasSuffix(name, "_bucket"):
 				if v < st.last {
-					return fmt.Errorf("line %d: histogram %s bucket counts decrease (%g after %g)", lineNo, family, v, st.last)
+					return fmt.Errorf("line %d: histogram %s bucket counts decrease (%g after %g)", lineNo, group, v, st.last)
 				}
 				st.last = v
 				if strings.Contains(labels, `le="+Inf"`) {
@@ -298,7 +309,7 @@ func LintExposition(body string) error {
 			case strings.HasSuffix(name, "_count"):
 				st.hasCount = true
 				if st.hasInf && v != st.inf {
-					return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", family, v, st.inf)
+					return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", group, v, st.inf)
 				}
 			}
 		}
@@ -312,6 +323,49 @@ func LintExposition(body string) error {
 		}
 	}
 	return nil
+}
+
+// stripLabel removes one name="value" pair from a label block, keeping
+// the rest intact, so histogram series can be grouped by their identity
+// labels without the per-bucket le. Quoted values may contain escaped
+// quotes (the exposition uses Go-style %q quoting).
+func stripLabel(labels, drop string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for i := 0; i < len(inner); {
+		eq := strings.IndexByte(inner[i:], '=')
+		if eq < 0 {
+			kept = append(kept, inner[i:])
+			break
+		}
+		name := inner[i : i+eq]
+		j := i + eq + 1 // at the opening quote
+		if j < len(inner) && inner[j] == '"' {
+			j++
+			for j < len(inner) && inner[j] != '"' {
+				if inner[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			j++ // past the closing quote
+		}
+		pair := inner[i:min(j, len(inner))]
+		if name != drop {
+			kept = append(kept, pair)
+		}
+		i = j
+		if i < len(inner) && inner[i] == ',' {
+			i++
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
 }
 
 // jobCounts tallies the live job states for the gauges.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/obs/tracing"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server/store"
 )
 
@@ -61,6 +62,17 @@ type Config struct {
 	// MaxTraces bounds the uploaded-trace index (0 = DefaultMaxTraces);
 	// uploads past the bound answer 507 until one is deleted.
 	MaxTraces int
+	// ScrapeInterval is the self-scrape period feeding the metrics
+	// history store and the live stream (0 = DefaultScrapeInterval;
+	// negative disables the loop — tests drive scrapes manually).
+	ScrapeInterval time.Duration
+	// SlowThreshold, when positive, logs every request at least this
+	// slow at warn level (the request stays in /v1/debug/slow either
+	// way — the ring keeps the slowest regardless of threshold).
+	SlowThreshold time.Duration
+	// SlowKeep is how many slow-request exemplars /v1/debug/slow
+	// retains (0 = DefaultSlowKeep).
+	SlowKeep int
 }
 
 // Server is the comasrv HTTP API: the experiment engine behind
@@ -99,6 +111,13 @@ type Server struct {
 
 	reqDur    *histogram
 	queueWait *histogram
+
+	// history retains the self-scraped metric series (GET
+	// /v1/metrics/history); stream fans scrapes out to SSE subscribers;
+	// slow keeps the slowest-request exemplars (GET /v1/debug/slow).
+	history *tsdb.DB
+	stream  streamBroker
+	slow    *slowRing
 }
 
 // flightKey separates cacheable flights from forced (?nocache=1) ones:
@@ -159,7 +178,13 @@ func New(cfg Config) (*Server, error) {
 		started:   time.Now(),
 		reqDur:    newHistogram(durationBuckets...),
 		queueWait: newHistogram(durationBuckets...),
+		slow:      newSlowRing(cfg.SlowKeep),
 		now:       time.Now,
+	}
+	s.history, err = tsdb.New(historyTiers(cfg.ScrapeInterval))
+	if err != nil {
+		cancel()
+		return nil, err
 	}
 	if cfg.Fleet != nil {
 		s.fleet, err = newFleet(*cfg.Fleet)
@@ -172,6 +197,13 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	go s.sweepJobs()
+	if cfg.ScrapeInterval >= 0 {
+		interval := cfg.ScrapeInterval
+		if interval == 0 {
+			interval = DefaultScrapeInterval
+		}
+		go s.scrapeLoop(interval)
+	}
 	s.mux = http.NewServeMux()
 	for _, r := range Routes() {
 		switch r {
@@ -207,6 +239,14 @@ func New(cfg Config) (*Server, error) {
 			s.mux.HandleFunc(r, s.handleFleetEntryPut)
 		case "GET /metrics":
 			s.mux.HandleFunc(r, s.handlePromMetrics)
+		case "GET /v1/metrics/history":
+			s.mux.HandleFunc(r, s.handleMetricsHistory)
+		case "GET /v1/metrics/stream":
+			s.mux.HandleFunc(r, s.handleMetricsStream)
+		case "GET /v1/fleet/metrics":
+			s.mux.HandleFunc(r, s.handleFleetMetrics)
+		case "GET /v1/debug/slow":
+			s.mux.HandleFunc(r, s.handleDebugSlow)
 		default:
 			panic("server: unhandled route " + r)
 		}
@@ -234,6 +274,10 @@ func Routes() []string {
 		"GET /v1/fleet/entries/{key}",
 		"PUT /v1/fleet/entries/{key}",
 		"GET /metrics",
+		"GET /v1/metrics/history",
+		"GET /v1/metrics/stream",
+		"GET /v1/fleet/metrics",
+		"GET /v1/debug/slow",
 	}
 }
 
@@ -253,10 +297,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r.WithContext(tracing.NewContext(r.Context(), span)))
 	dur := time.Since(start)
-	s.reqDur.Observe(dur.Seconds())
+	// The SSE stream is a long-lived subscription, not a request: its
+	// lifetime would drown the latency histogram and pin the slow ring.
+	streaming := r.URL.Path == "/v1/metrics/stream"
+	if !streaming {
+		s.reqDur.Observe(dur.Seconds())
+		s.slow.note(SlowRequest{
+			TraceID:    span.TraceID(),
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Status:     sw.status,
+			Source:     r.RemoteAddr,
+			DurationMs: float64(dur) / float64(time.Millisecond),
+			StartUnix:  start.Unix(),
+		})
+	}
 	span.SetAttr("status", strconv.Itoa(sw.status))
 	span.End()
-	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+	level := slog.LevelInfo
+	msg := "request"
+	if !streaming && s.cfg.SlowThreshold > 0 && dur >= s.cfg.SlowThreshold {
+		level, msg = slog.LevelWarn, "slow request"
+	}
+	s.logger.LogAttrs(r.Context(), level, msg,
 		slog.String("trace_id", span.TraceID()),
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
@@ -274,6 +337,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so server-sent events pass
+// through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Close cancels every running and queued job (their simulations stop

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultSlowKeep is how many slow-request exemplars the ring retains
+// when Config.SlowKeep is zero.
+const DefaultSlowKeep = 32
+
+// SlowRequest is one retained exemplar: enough to link a latency
+// anomaly on a dashboard back to a retrievable trace (GET
+// /v1/traces/{trace_id}) and a log line.
+type SlowRequest struct {
+	TraceID    string  `json:"trace_id"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	Source     string  `json:"source"` // client address the request came from
+	DurationMs float64 `json:"duration_ms"`
+	StartUnix  int64   `json:"start_unix"`
+}
+
+// slowRing keeps the N slowest requests seen so far, sorted fastest
+// first so the head is the eviction candidate. Insertion is O(N) on a
+// small fixed N — cheap against an HTTP request.
+type slowRing struct {
+	mu      sync.Mutex
+	keep    int
+	entries []SlowRequest
+}
+
+func newSlowRing(keep int) *slowRing {
+	if keep <= 0 {
+		keep = DefaultSlowKeep
+	}
+	return &slowRing{keep: keep}
+}
+
+// note offers one completed request to the ring.
+func (sr *slowRing) note(e SlowRequest) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	i := sort.Search(len(sr.entries), func(i int) bool {
+		return sr.entries[i].DurationMs >= e.DurationMs
+	})
+	if len(sr.entries) >= sr.keep {
+		if i == 0 {
+			return // faster than everything retained
+		}
+		// Drop the fastest entry and slide the gap up to the slot.
+		copy(sr.entries, sr.entries[1:i])
+		sr.entries[i-1] = e
+		return
+	}
+	sr.entries = append(sr.entries, SlowRequest{})
+	copy(sr.entries[i+1:], sr.entries[i:])
+	sr.entries[i] = e
+}
+
+// slowest returns the retained exemplars, slowest first.
+func (sr *slowRing) slowest() []SlowRequest {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	out := make([]SlowRequest, len(sr.entries))
+	for i, e := range sr.entries {
+		out[len(out)-1-i] = e
+	}
+	return out
+}
+
+// SlowReport is the GET /v1/debug/slow payload.
+type SlowReport struct {
+	Keep        int           `json:"keep"`
+	ThresholdMs float64       `json:"threshold_ms"` // 0 = slow logging disabled
+	Requests    []SlowRequest `json:"requests"`     // slowest first
+}
+
+// handleDebugSlow serves GET /v1/debug/slow: the N slowest requests the
+// daemon has served, slowest first.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SlowReport{
+		Keep:        s.slow.keep,
+		ThresholdMs: float64(s.cfg.SlowThreshold) / float64(time.Millisecond),
+		Requests:    s.slow.slowest(),
+	})
+}

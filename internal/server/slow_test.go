@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The ring keeps exactly the N slowest entries, reported slowest first;
+// faster-than-everything offers are discarded once full.
+func TestSlowRingOrderingAndEviction(t *testing.T) {
+	sr := newSlowRing(3)
+	for _, ms := range []float64{5, 1, 9, 3, 7, 0.5} {
+		sr.note(SlowRequest{Path: fmt.Sprintf("/d/%g", ms), DurationMs: ms})
+	}
+	got := sr.slowest()
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	for i, want := range []float64{9, 7, 5} {
+		if got[i].DurationMs != want {
+			t.Fatalf("slowest()[%d] = %gms, want %gms (full: %+v)", i, got[i].DurationMs, want, got)
+		}
+	}
+	// A duplicate duration still displaces the fastest retained entry.
+	sr.note(SlowRequest{Path: "/dup", DurationMs: 7})
+	got = sr.slowest()
+	if got[2].DurationMs != 7 {
+		t.Fatalf("after duplicate insert, slowest()[2] = %gms, want 7", got[2].DurationMs)
+	}
+}
+
+// Every served request lands in the ring; GET /v1/debug/slow reports
+// them slowest first with route, status, source and trace ID attached.
+func TestDebugSlowEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{ScrapeInterval: -1, SlowKeep: 8})
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Simulate(ctx, fastSim()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.SlowRequests(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Keep != 8 {
+		t.Fatalf("keep = %d, want the configured 8", rep.Keep)
+	}
+	if rep.ThresholdMs != 0 {
+		t.Fatalf("threshold_ms = %g, want 0 (slow logging disabled)", rep.ThresholdMs)
+	}
+	if len(rep.Requests) < 2 {
+		t.Fatalf("retained %d requests, want the healthz and simulate calls", len(rep.Requests))
+	}
+	for i := 1; i < len(rep.Requests); i++ {
+		if rep.Requests[i].DurationMs > rep.Requests[i-1].DurationMs {
+			t.Fatalf("requests not sorted slowest first: %+v", rep.Requests)
+		}
+	}
+	var sawSim bool
+	for _, e := range rep.Requests {
+		if e.TraceID == "" || e.Method == "" || e.Path == "" || e.Status == 0 || e.Source == "" {
+			t.Fatalf("exemplar missing identity fields: %+v", e)
+		}
+		if e.Path == "/v1/simulate" {
+			sawSim = true
+			// The exemplar links back to a retrievable trace.
+			if _, err := c.Trace(ctx, e.TraceID); err != nil {
+				t.Fatalf("exemplar trace %s not retrievable: %v", e.TraceID, err)
+			}
+		}
+	}
+	if !sawSim {
+		t.Fatalf("no /v1/simulate exemplar in %+v", rep.Requests)
+	}
+}
+
+// Past the threshold the request log escalates to a Warn "slow request"
+// line; under it, the normal Info line.
+func TestSlowThresholdLogEscalation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	_, c := newTestServer(t, Config{
+		ScrapeInterval: -1,
+		SlowThreshold:  time.Nanosecond, // everything is slow
+		Logger:         logger,
+	})
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow request") || !strings.Contains(out, "level=WARN") {
+		t.Fatalf("no Warn slow-request line logged:\n%s", out)
+	}
+	if !strings.Contains(out, "path=/v1/healthz") {
+		t.Fatalf("slow-request line lacks the path:\n%s", out)
+	}
+
+	buf.Reset()
+	_, c2 := newTestServer(t, Config{ScrapeInterval: -1, Logger: logger})
+	if err := c2.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); strings.Contains(s, "slow request") {
+		t.Fatalf("threshold-less server escalated a request:\n%s", s)
+	}
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs/tsdb"
+)
+
+// streamBroker fans self-scrape samples out to the GET
+// /v1/metrics/stream subscribers as server-sent events. Each subscriber
+// owns a small buffered channel of pre-encoded frames; a subscriber that
+// cannot keep up has frames dropped (the next delta resynchronizes it —
+// deltas are computed against the broker's state, not the subscriber's,
+// so a drop loses freshness, never correctness, and the periodic full
+// snapshot heals any missed delta).
+type streamBroker struct {
+	mu     sync.Mutex
+	subs   map[int]chan []byte
+	nextID int
+	// prev is the previous scrape's sample values, for delta encoding.
+	prev map[string]float64
+	// snapshots counts published scrapes so every 16th frame is a full
+	// snapshot (late joiners get one immediately on subscribe).
+	published int
+}
+
+// streamEvent is the SSE payload: the scrape timestamp and the sample
+// values, keyed by exposition sample identity (name plus label block).
+type streamEvent struct {
+	TUnix   int64              `json:"t_unix"`
+	Samples map[string]float64 `json:"samples"`
+}
+
+// snapshotEvery makes one frame in this many a full snapshot, bounding
+// how long a subscriber that dropped a delta stays stale.
+const snapshotEvery = 16
+
+// frame encodes one SSE frame.
+func frame(event string, ev streamEvent) []byte {
+	b, _ := json.Marshal(ev)
+	return []byte("event: " + event + "\ndata: " + string(b) + "\n\n")
+}
+
+// publish encodes the scrape as a delta (or periodic snapshot) frame
+// and offers it to every subscriber without blocking.
+func (br *streamBroker) publish(t time.Time, samples []tsdb.Sample) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+
+	cur := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		cur[s.Key()] = s.Value
+	}
+	event := "delta"
+	out := cur
+	if br.prev != nil && br.published%snapshotEvery != 0 {
+		delta := make(map[string]float64)
+		for k, v := range cur {
+			if pv, ok := br.prev[k]; !ok || pv != v {
+				delta[k] = v
+			}
+		}
+		out = delta
+	} else {
+		event = "snapshot"
+	}
+	br.prev = cur
+	br.published++
+	if len(br.subs) == 0 {
+		return
+	}
+	f := frame(event, streamEvent{TUnix: t.Unix(), Samples: out})
+	for _, ch := range br.subs {
+		select {
+		case ch <- f:
+		default: // slow subscriber: drop, the next snapshot resyncs it
+		}
+	}
+}
+
+// subscribe registers a new subscriber and returns its id, channel, and
+// an immediate snapshot frame of the broker's current state (nil when
+// no scrape has happened yet).
+func (br *streamBroker) subscribe(now time.Time) (int, chan []byte, []byte) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.subs == nil {
+		br.subs = make(map[int]chan []byte)
+	}
+	id := br.nextID
+	br.nextID++
+	ch := make(chan []byte, 8)
+	br.subs[id] = ch
+	var first []byte
+	if br.prev != nil {
+		first = frame("snapshot", streamEvent{TUnix: now.Unix(), Samples: br.prev})
+	}
+	return id, ch, first
+}
+
+func (br *streamBroker) unsubscribe(id int) {
+	br.mu.Lock()
+	delete(br.subs, id)
+	br.mu.Unlock()
+}
+
+// subscribers reports the live subscription count (tests assert a
+// disconnect frees its subscription).
+func (br *streamBroker) subscribers() int {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return len(br.subs)
+}
+
+// handleMetricsStream serves GET /v1/metrics/stream: server-sent events
+// carrying the self-scraped sample set — an immediate snapshot on
+// connect, then one delta per scrape tick (a full snapshot every 16th
+// frame). The subscription is freed when the client disconnects or the
+// server closes.
+func (s *Server) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming is not supported by this connection"))
+		return
+	}
+	id, ch, first := s.stream.subscribe(s.now())
+	defer s.stream.unsubscribe(id)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if first == nil {
+		// No scrape has run yet (short interval deployments reach this
+		// only in the first seconds): take one now so the client never
+		// waits a full interval for its first frame.
+		s.scrapeSelf(s.now())
+		select {
+		case first = <-ch:
+		default:
+		}
+	}
+	if first != nil {
+		w.Write(first)
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		case f := <-ch:
+			if _, err := w.Write(f); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

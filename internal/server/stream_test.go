@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one decoded server-sent event.
+type sseEvent struct {
+	Event string
+	Data  streamEvent
+}
+
+// readSSE decodes the next event from an open stream.
+func readSSE(t *testing.T, r *bufio.Reader) sseEvent {
+	t.Helper()
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "" {
+			if ev.Event != "" {
+				return ev
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "event: "); ok {
+			ev.Event = rest
+		} else if rest, ok := strings.CutPrefix(line, "data: "); ok {
+			if err := json.Unmarshal([]byte(rest), &ev.Data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", rest, err)
+			}
+		} else {
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+}
+
+// Full stream lifecycle: connect (immediate snapshot), scrape (delta
+// frame carrying only changed samples), disconnect (subscription freed).
+func TestMetricsStreamLifecycle(t *testing.T) {
+	srv, c := newTestServer(t, Config{ScrapeInterval: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/metrics/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	rd := bufio.NewReader(resp.Body)
+
+	// Connect: an immediate snapshot, even though no scrape had run.
+	first := readSSE(t, rd)
+	if first.Event != "snapshot" {
+		t.Fatalf("first event = %q, want snapshot", first.Event)
+	}
+	if _, ok := first.Data.Samples["comasrv_requests_total"]; !ok {
+		t.Fatalf("snapshot lacks comasrv_requests_total: %v", first.Data.Samples)
+	}
+	if srv.stream.subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", srv.stream.subscribers())
+	}
+
+	// Change one counter, scrape: the delta carries the changed sample
+	// and omits untouched ones.
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv.scrapeSelf(srv.now())
+	delta := readSSE(t, rd)
+	if delta.Event != "delta" {
+		t.Fatalf("second event = %q, want delta", delta.Event)
+	}
+	reqs, ok := delta.Data.Samples["comasrv_requests_total"]
+	if !ok {
+		t.Fatalf("delta lacks the changed counter: %v", delta.Data.Samples)
+	}
+	if reqs <= first.Data.Samples["comasrv_requests_total"] {
+		t.Fatalf("delta requests_total = %g, want > snapshot's %g", reqs, first.Data.Samples["comasrv_requests_total"])
+	}
+	if _, ok := delta.Data.Samples["comasrv_sim_slots"]; ok {
+		t.Fatal("delta carries an unchanged gauge; deltas must omit untouched samples")
+	}
+
+	// Disconnect: the subscription is freed.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.stream.subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscribers = %d after disconnect, want 0", srv.stream.subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Every snapshotEvery-th publish is a full snapshot so a subscriber
+// that dropped a delta is healed.
+func TestMetricsStreamPeriodicSnapshot(t *testing.T) {
+	var br streamBroker
+	now := time.Unix(1_700_000_000, 0)
+	br.publish(now, nil) // first publish: snapshot
+	_, ch, _ := br.subscribe(now)
+	events := func() []string {
+		var out []string
+		for {
+			select {
+			case f := <-ch:
+				line, _, _ := strings.Cut(string(f), "\n")
+				out = append(out, strings.TrimPrefix(line, "event: "))
+			default:
+				return out
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		br.publish(now, nil)
+	}
+	if got := events(); strings.Join(got, ",") != "delta,delta,delta" {
+		t.Fatalf("events = %v, want three deltas", got)
+	}
+	for br.published%snapshotEvery != 0 {
+		br.publish(now, nil)
+		events() // drain so the buffered channel never drops the frame under test
+	}
+	br.publish(now, nil)
+	got := events()
+	if len(got) != 1 || got[0] != "snapshot" {
+		t.Fatalf("publish #%d produced %v, want a periodic snapshot", br.published, got)
+	}
+}
